@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation: signal-level arbitration timing.
+ *
+ * Replaces the paper's fixed 0.5-unit arbitration overhead with
+ * durations derived from the bit-level parallel contention arbiter:
+ *
+ *  - dynamic mode (self-timed bus): control rounds + the actual settle
+ *    rounds of each contest;
+ *  - worst-case mode (synchronous bus): control rounds + ceil(k/2),
+ *    where k is each protocol's arbitration line count. This is where
+ *    the FCFS protocol's wider composite identities (counter + static
+ *    id, about 2x the lines) cost real time relative to RR, and what
+ *    binary-patterned arbitration lines [John83] would claw back.
+ *
+ * Reported per protocol: line count k, mean wait at low load (overhead
+ * exposed) and at saturation (overhead hidden under transfers).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "experiment/table.hh"
+
+namespace {
+
+using namespace busarb;
+
+double
+meanWaitUnder(const char *key, double load, BusParams params)
+{
+    using busarb::bench::withPaperMeasurement;
+    ScenarioConfig config =
+        withPaperMeasurement(equalLoadScenario(10, load));
+    config.bus = params;
+    return runScenario(config, protocolByKey(key)).meanWait().value;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace busarb::bench;
+
+    std::cout << "Ablation: signal-level arbitration timing (10 agents; "
+                 "propagation 0.05,\n4 control rounds; batch size "
+              << batchSize() << ")\n";
+
+    BusParams dynamic;
+    dynamic.settleTiming = true;
+    dynamic.settleMode = BusParams::SettleMode::kDynamic;
+    BusParams worst = dynamic;
+    worst.settleMode = BusParams::SettleMode::kWorstCase;
+    BusParams fixed; // the paper's 0.5 fixed overhead
+
+    heading("Mean wait W by timing model");
+    TextTable table({"Protocol", "k", "W fixed(0.5) lo/sat",
+                     "W dynamic lo/sat", "W worst-case lo/sat"});
+    for (const char *key : {"rr1", "rr2", "fcfs1", "fcfs2", "aap1"}) {
+        auto protocol = protocolByKey(key)();
+        protocol->reset(10);
+        const int k = protocol->arbitrationLineCount();
+        const auto fmt = [&](BusParams params) {
+            return formatFixed(meanWaitUnder(key, 0.5, params), 3) +
+                   " / " + formatFixed(meanWaitUnder(key, 2.0, params), 3);
+        };
+        table.addRow({
+            protocol->name(),
+            std::to_string(k),
+            fmt(fixed),
+            fmt(dynamic),
+            fmt(worst),
+        });
+    }
+    table.print(std::cout);
+
+    std::cout << "\nAt low load the arbitration overhead is exposed: "
+                 "FCFS (k ~ 2x RR's lines)\npays measurably more under "
+                 "the worst-case (synchronous) budget, while under\n"
+                 "saturation every model hides arbitration behind bus "
+                 "transfers.\n";
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulation substrate: event
+ * queue throughput, wired-OR settle, composite-identity max finding,
+ * and full end-to-end simulation speed.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bus/async_contention.hh"
+#include "bus/contention.hh"
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "random/rng.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace busarb;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < batch; ++i)
+            q.schedule(i % 97, [&sink] { ++sink; });
+        q.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void
+BM_ContentionSettle(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const int n = static_cast<int>(state.range(1));
+    ContentionArbiter arb(k);
+    Rng rng(42);
+    std::vector<Competitor> competitors;
+    std::vector<std::uint64_t> used;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t w;
+        do {
+            w = 1 + rng.below((1ULL << k) - 1);
+        } while (std::find(used.begin(), used.end(), w) != used.end());
+        used.push_back(w);
+        competitors.push_back(Competitor{i + 1, w});
+    }
+    for (auto _ : state) {
+        auto result = arb.settle(competitors);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ContentionSettle)
+    ->Args({6, 8})
+    ->Args({10, 16})
+    ->Args({16, 32});
+
+void
+BM_AsyncContentionSettle(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const int n = static_cast<int>(state.range(1));
+    AsyncContentionArbiter arb(k);
+    Rng rng(43);
+    std::vector<PlacedCompetitor> competitors;
+    std::vector<std::uint64_t> used;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t w;
+        do {
+            w = 1 + rng.below((1ULL << k) - 1);
+        } while (std::find(used.begin(), used.end(), w) != used.end());
+        used.push_back(w);
+        competitors.push_back(
+            PlacedCompetitor{i + 1, w, rng.uniform()});
+    }
+    for (auto _ : state) {
+        auto result = arb.settle(competitors);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsyncContentionSettle)->Args({6, 8})->Args({10, 16});
+
+void
+BM_SelectMax(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::vector<Competitor> competitors;
+    for (int i = 0; i < n; ++i)
+        competitors.push_back(Competitor{i + 1,
+                                         static_cast<std::uint64_t>(
+                                             (i * 2654435761U) % 100000 +
+                                             i + 1)});
+    for (auto _ : state) {
+        auto winner = selectMax(competitors);
+        benchmark::DoNotOptimize(winner);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectMax)->Arg(10)->Arg(64);
+
+void
+BM_FullSimulation(benchmark::State &state)
+{
+    // End-to-end completions per second for a saturated 10-agent bus.
+    const char *keys[] = {"rr1", "fcfs1", "aap1"};
+    const char *key = keys[state.range(0)];
+    ScenarioConfig config = equalLoadScenario(10, 2.0);
+    config.numBatches = 2;
+    config.batchSize = 5000;
+    config.warmup = 1000;
+    for (auto _ : state) {
+        auto result = runScenario(config, protocolByKey(key));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (config.numBatches * config.batchSize +
+                             config.warmup));
+    state.SetLabel(key);
+}
+BENCHMARK(BM_FullSimulation)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

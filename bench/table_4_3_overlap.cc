@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Table 4.3: performance comparison when useful execution is
+ * overlapped with bus waiting times.
+ *
+ * The experiment (Section 4.3): a fixed amount of "extra" useful work,
+ * the overlap value V, can be overlapped with each request's waiting
+ * time; the realized overlap per request is min(V, W). V is chosen per
+ * load as the minimum integer at which the RR waiting-time CDF falls
+ * below the FCFS CDF — the point that maximizes the FCFS advantage.
+ *
+ * Reported per load: the mean total wait W (same for both protocols),
+ * the mean residual wait W - min(V, W) for RR and FCFS, the agent
+ * productivity (productive time / wall time) for both, and V. Because
+ * the overlap changes only the accounting, not the dynamics, residual
+ * wait and productivity are computed from each protocol's waiting-time
+ * histogram: E[min(V, W)] is integrated over the bins.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "experiment/table.hh"
+
+namespace {
+
+/**
+ * Smallest integer v >= 1 with CDF_RR(v) < CDF_FCFS(v); 0 if none. A
+ * small epsilon guards against sampling noise triggering the crossing
+ * in the CDF tails, where both are essentially equal.
+ */
+double
+overlapValue(const busarb::Histogram &rr, const busarb::Histogram &fcfs)
+{
+    // Prefer a clearly resolved crossing; relax the noise margin when
+    // the distributions are too close for one (low loads, where both
+    // CDFs nearly coincide), and fall back to the mean as the natural
+    // crossing point if even the strict search fails.
+    for (double eps : {0.01, 0.001, 0.0001}) {
+        for (int v = 1; v <= 200; ++v) {
+            const double x = static_cast<double>(v);
+            if (rr.cdf(x) < fcfs.cdf(x) - eps)
+                return x;
+        }
+    }
+    return std::ceil(rr.approximateMean());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace busarb;
+    using namespace busarb::bench;
+
+    std::cout << "Table 4.3: Performance Comparison for Execution "
+                 "Overlapped with Bus Waiting Times\n(batch size "
+              << batchSize() << ")\n";
+
+    for (int n : {10, 30, 64}) {
+        heading("(" + std::string(n == 10 ? "a" : n == 30 ? "b" : "c") +
+                ") " + std::to_string(n) + " Agents");
+        TextTable table({"Load", "W", "W-over RR", "W-over FCFS",
+                         "Prod RR", "Prod FCFS", "Overlap"});
+        for (double load : paperLoads()) {
+            ScenarioConfig config =
+                withPaperMeasurement(equalLoadScenario(n, load));
+            config.collectHistogram = true;
+            config.histBinWidth = 0.25;
+            config.histBins = 800;
+            const auto rr = runScenario(config, protocolByKey("rr1"));
+            const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+            const double v =
+                overlapValue(rr.waitHistogram, fcfs.waitHistogram);
+            const double think =
+                config.agents.front().meanInterrequest;
+            const auto residual = [&](const ScenarioResult &r) {
+                return r.waitHistogram.expectedExcess(v);
+            };
+            const auto productivity = [&](const ScenarioResult &r) {
+                return (think + r.waitHistogram.expectedMin(v)) /
+                       (think + r.meanWait().value);
+            };
+            table.addRow({
+                formatFixed(load, 2),
+                formatFixed(rr.meanWait().value, 2),
+                formatFixed(residual(rr), 2),
+                formatFixed(residual(fcfs), 2),
+                formatFixed(productivity(rr), 2),
+                formatFixed(productivity(fcfs), 2),
+                formatFixed(v, 1),
+            });
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\nNote: productivity counts overlapped work as extra "
+                 "useful execution\n(Section 4.3's 'pre-fetching' "
+                 "reading); higher is better.\n";
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Implementing a custom arbitration protocol against the public API.
+ *
+ * The paper's closing remark: "It may also be possible to design an
+ * adaptive scheme that uses the history of request patterns to optimize
+ * its behavior." This example builds exactly such a toy protocol — a
+ * longest-queue-first arbiter that favours the agent with the most
+ * outstanding requests (ties by static identity) — plugs it into the
+ * bus engine, and race it against RR and FCFS.
+ *
+ * It demonstrates everything a protocol author needs:
+ *   - deriving from ArbitrationProtocol,
+ *   - building composite arbitration words (here: queue depth over
+ *     static identity) resolved by wired-OR maximum finding,
+ *   - freezing competitors at beginPass / resolving at completePass,
+ *   - running scenarios through the experiment harness.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bus/contention.hh"
+#include "bus/protocol.hh"
+#include "core/pending_requests.hh"
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "experiment/table.hh"
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace busarb;
+
+/**
+ * Longest-queue-first arbitration: composite word
+ * [ queue depth | static identity ], resolved by maximum finding.
+ */
+class LongestQueueFirstProtocol : public ArbitrationProtocol
+{
+  public:
+    void
+    reset(int num_agents) override
+    {
+        numAgents_ = num_agents;
+        idBits_ = linesForAgents(num_agents);
+        pending_.reset(num_agents);
+        frozen_.clear();
+    }
+
+    void
+    requestPosted(const Request &req) override
+    {
+        pending_.add(req);
+    }
+
+    bool
+    wantsPass() const override
+    {
+        return !pending_.empty();
+    }
+
+    void
+    beginPass(Tick) override
+    {
+        frozen_.clear();
+        std::vector<int> depth(static_cast<std::size_t>(numAgents_) + 1,
+                               0);
+        pending_.forEach([&](PendingEntry &e) {
+            ++depth[static_cast<std::size_t>(e.req.agent)];
+        });
+        pending_.forEachAgentOldest([&](PendingEntry &e) {
+            const auto d = static_cast<std::uint64_t>(
+                depth[static_cast<std::size_t>(e.req.agent)]);
+            frozen_.push_back(Competitor{
+                e.req.agent,
+                (d << idBits_) |
+                    static_cast<std::uint64_t>(e.req.agent)});
+        });
+    }
+
+    PassResult
+    completePass(Tick) override
+    {
+        if (frozen_.empty())
+            return PassResult::makeIdle();
+        const AgentId winner = selectMax(frozen_);
+        return PassResult::makeWinner(pending_.oldest(winner).req);
+    }
+
+    void
+    tenureStarted(const Request &req, Tick) override
+    {
+        pending_.popOldest(req.agent);
+    }
+
+    std::string
+    name() const override
+    {
+        return "Longest-queue-first (custom)";
+    }
+
+  private:
+    int numAgents_ = 0;
+    int idBits_ = 0;
+    PendingRequests pending_;
+    std::vector<Competitor> frozen_;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace busarb;
+
+    std::cout << "Custom protocol demo: longest-queue-first vs the "
+                 "paper's protocols\n(8 agents with 4 outstanding "
+                 "request tokens each, total load ~1.8)\n\n";
+
+    ScenarioConfig config;
+    config.numAgents = 8;
+    AgentTraits traits;
+    traits.meanInterrequest = 3.5;
+    traits.cv = 1.0;
+    traits.maxOutstanding = 4;
+    config.agents.assign(8, traits);
+    config.numBatches = 8;
+    config.batchSize = 4000;
+    config.warmup = 4000;
+
+    TextTable table({"protocol", "throughput", "mean W", "sigma W",
+                     "t_N/t_1"});
+    const auto report = [&](const ScenarioResult &r) {
+        // The custom arbiter can starve agent 1 outright (its queue-depth
+        // ties resolve by identity), so compute the ratio from the
+        // per-agent estimates instead of per-batch ratios.
+        const double low = r.agentThroughput(1).value;
+        const double high = r.agentThroughput(8).value;
+        table.addRow({
+            r.protocolName,
+            formatEstimate(r.throughput()),
+            formatEstimate(r.meanWait()),
+            formatEstimate(r.waitStddev()),
+            low > 0.0 ? formatFixed(high / low, 2) : "inf (starved)",
+        });
+    };
+    report(runScenario(config, protocolByKey("rr1")));
+    // Counter sizing matters with r > 1 (Section 3.2): tell FCFS that
+    // agents keep up to 4 requests outstanding so it adds ceil(log2 4)
+    // counter bits. (Try maxOutstandingHint = 1 to watch the saturated
+    // counters degenerate into identity order and starve agent 1.)
+    FcfsConfig fcfs;
+    fcfs.strategy = FcfsStrategy::kIncrLine;
+    fcfs.maxOutstandingHint = 4;
+    report(runScenario(config, makeFcfsFactory(fcfs)));
+    report(runScenario(config, [] {
+        return std::make_unique<LongestQueueFirstProtocol>();
+    }));
+    table.print(std::cout);
+
+    std::cout << "\nThe custom arbiter plugs into the same bus engine "
+                 "and harness; note how\nqueue-depth scheduling trades "
+                 "fairness for burst drainage.\n";
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Priority-traffic demo: integrating urgent requests with fair
+ * scheduling (Sections 2.4, 3.1, 3.2).
+ *
+ * Two agents issue a fraction of their requests as priority requests
+ * (e.g. an I/O controller flushing a real-time buffer). Under the RR
+ * protocol (implementation 1), the priority class gets a most
+ * significant arbitration bit and is served round-robin within the
+ * class; non-priority traffic keeps its round-robin fairness. Under
+ * FCFS, priority requests jump the non-priority queue but stay FCFS
+ * among themselves (matched-increment counting).
+ *
+ * Usage: priority_traffic [priority_fraction]   (default 0.2)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baseline/aap_batch.hh"
+#include "core/fcfs.hh"
+#include "core/round_robin.hh"
+#include "experiment/metrics.hh"
+#include "experiment/table.hh"
+#include "random/rng.hh"
+#include "sim/event_queue.hh"
+#include "workload/closed_agent.hh"
+#include "workload/scenario.hh"
+
+namespace {
+
+using namespace busarb;
+
+/** Collects waits split by priority class. */
+struct ClassMetrics : BusObserver
+{
+    double prioritySum = 0.0;
+    std::uint64_t priorityCount = 0;
+    double normalSum = 0.0;
+    std::uint64_t normalCount = 0;
+    std::vector<ClosedAgent *> *agents = nullptr;
+
+    void onServiceStart(const Request &, Tick) override {}
+
+    void
+    onServiceEnd(const Request &req, Tick now) override
+    {
+        const double wait = ticksToUnits(now - req.issued);
+        if (req.priority) {
+            prioritySum += wait;
+            ++priorityCount;
+        } else {
+            normalSum += wait;
+            ++normalCount;
+        }
+        (*agents)[static_cast<std::size_t>(req.agent - 1)]->onServiceEnd(
+            now);
+    }
+};
+
+/** Run one protocol and report class-split mean waits. */
+void
+runCase(const std::string &label,
+        std::unique_ptr<ArbitrationProtocol> protocol,
+        double priority_fraction, TextTable &table)
+{
+    const int n = 10;
+    EventQueue queue;
+    Bus bus(queue, std::move(protocol), n, {});
+    ClassMetrics metrics;
+    std::vector<std::unique_ptr<ClosedAgent>> agents;
+    std::vector<ClosedAgent *> agent_ptrs;
+    Rng base(2718);
+    for (AgentId a = 1; a <= n; ++a) {
+        AgentTraits traits;
+        traits.meanInterrequest = interrequestForLoad(0.2); // load 2.0
+        traits.cv = 1.0;
+        // Agents 1 and 2 issue urgent requests.
+        traits.priorityFraction = (a <= 2) ? priority_fraction : 0.0;
+        agents.push_back(std::make_unique<ClosedAgent>(
+            queue, bus, a, traits, base.fork(a)));
+        agent_ptrs.push_back(agents.back().get());
+    }
+    metrics.agents = &agent_ptrs;
+    bus.setObserver(&metrics);
+    for (auto &agent : agents)
+        agent->start();
+    while (metrics.priorityCount + metrics.normalCount < 60000) {
+        if (!queue.runOne())
+            break;
+    }
+    table.addRow({
+        label,
+        formatFixed(metrics.prioritySum /
+                        static_cast<double>(metrics.priorityCount),
+                    2),
+        formatFixed(metrics.normalSum /
+                        static_cast<double>(metrics.normalCount),
+                    2),
+        std::to_string(metrics.priorityCount),
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double fraction = (argc > 1) ? std::atof(argv[1]) : 0.2;
+    std::cout << "Priority integration demo: 10 agents at total load "
+                 "2.0; agents 1-2 issue\n"
+              << fraction * 100.0 << "% of their requests as priority\n\n";
+
+    TextTable table({"protocol", "mean W priority", "mean W normal",
+                     "priority served"});
+
+    {
+        RrConfig config;
+        config.impl = RrImplementation::kPriorityBit;
+        config.enablePriority = true;
+        config.rrWithinPriorityClass = true;
+        runCase("RR impl 1 + priority bit",
+                std::make_unique<RoundRobinProtocol>(config), fraction,
+                table);
+    }
+    {
+        FcfsConfig config;
+        config.strategy = FcfsStrategy::kIncrementOnLose;
+        config.enablePriority = true;
+        config.priorityCounting = PriorityCounting::kMatchedIncrement;
+        runCase("FCFS impl 1 + matched increment",
+                std::make_unique<FcfsProtocol>(config), fraction, table);
+    }
+    {
+        FcfsConfig config;
+        config.strategy = FcfsStrategy::kIncrLine;
+        config.enablePriority = true;
+        config.priorityCounting = PriorityCounting::kDualIncrLines;
+        runCase("FCFS impl 2 + dual a-incr lines",
+                std::make_unique<FcfsProtocol>(config), fraction, table);
+    }
+    {
+        // The Section 2.4 baseline: assured access with priority
+        // requests ignoring the batching protocol.
+        runCase("AAP-1 + priority line",
+                std::make_unique<BatchAapProtocol>(true), fraction,
+                table);
+    }
+
+    table.print(std::cout);
+    std::cout << "\nPriority requests see near-minimal waits (~1.5-2.5 "
+                 "units) while non-priority\ntraffic keeps the fair "
+                 "protocols' behaviour.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Plot busarb_sweep summary CSVs: one panel per measure vs offered load.
+
+Usage:
+    build/tools/busarb_sweep --protocols rr1,fcfs1,aap1 --agents 30 \
+        --loads 0.25,0.5,1,1.5,2,2.5,5,7.5 --csv sweep.csv
+    scripts/plot_sweep.py sweep.csv -o sweep.png
+"""
+
+import argparse
+import collections
+import csv
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", help="busarb_sweep summary CSV")
+    parser.add_argument("-o", "--output", default="sweep.png")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    series = collections.defaultdict(list)
+    with open(args.csv) as f:
+        for row in csv.DictReader(f):
+            load = float(row["label"].split("=", 1)[1])
+            series[row["protocol"]].append(
+                (load, float(row["wait_mean"]), float(row["wait_stddev"]),
+                 float(row["ratio_hi_lo"])))
+
+    panels = [("mean wait W", 1), ("stddev of W", 2),
+              ("t[N]/t[1] ratio", 3)]
+    fig, axes = plt.subplots(1, 3, figsize=(13, 4))
+    for ax, (title, idx) in zip(axes, panels):
+        for name, points in sorted(series.items()):
+            points = sorted(points)
+            ax.plot([p[0] for p in points], [p[idx] for p in points],
+                    marker="o", label=name)
+        ax.set_xlabel("total offered load")
+        ax.set_title(title)
+        ax.grid(True, alpha=0.3)
+    axes[0].legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Plot waiting-time CDFs from busarb histogram CSVs (Figure 4.1 style).
+
+Usage:
+    build/tools/busarb_sim --protocol rr1   --agents 30 --load 1.5 \
+        --histogram-csv rr.csv
+    build/tools/busarb_sim --protocol fcfs1 --agents 30 --load 1.5 \
+        --histogram-csv fcfs.csv
+    scripts/plot_wait_cdf.py rr.csv fcfs.csv -o figure_4_1.png
+"""
+
+import argparse
+import csv
+import sys
+
+
+def read_cdf(path):
+    xs, ys = [], []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            if row["bin_hi"] == "inf":
+                continue
+            xs.append(float(row["bin_hi"]))
+            ys.append(float(row["cdf"]))
+    return xs, ys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csvs", nargs="+", help="histogram CSV files")
+    parser.add_argument("-o", "--output", default="wait_cdf.png")
+    parser.add_argument("--xmax", type=float, default=None)
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for path in args.csvs:
+        xs, ys = read_cdf(path)
+        ax.plot(xs, ys, label=path.rsplit(".", 1)[0])
+    ax.set_xlabel("waiting time W (bus transaction times)")
+    ax.set_ylabel("CDF")
+    ax.set_ylim(0, 1.02)
+    if args.xmax:
+        ax.set_xlim(0, args.xmax)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+#include "baseline/aap_batch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+BatchAapProtocol::BatchAapProtocol(bool enable_priority)
+    : enablePriority_(enable_priority)
+{
+}
+
+void
+BatchAapProtocol::reset(int num_agents)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    numAgents_ = num_agents;
+    idBits_ = linesForAgents(num_agents);
+    pending_.reset(num_agents);
+    batch_.clear();
+    frozen_.clear();
+    passOpen_ = false;
+    batchesFormed_ = 0;
+    priorityPending_ = 0;
+}
+
+bool
+BatchAapProtocol::inBatch(std::uint64_t seq) const
+{
+    return std::find(batch_.begin(), batch_.end(), seq) != batch_.end();
+}
+
+void
+BatchAapProtocol::formNewBatch(Tick now)
+{
+    BUSARB_ASSERT(batch_.empty(), "forming a batch while one is active");
+    pending_.forEach([&](PendingEntry &e) {
+        // Priority requests ignore the batching protocol entirely.
+        if (!e.req.priority)
+            batch_.push_back(e.req.seq);
+    });
+    if (!batch_.empty()) {
+        ++batchesFormed_;
+        batchFormedAt_ = now;
+    }
+}
+
+void
+BatchAapProtocol::requestPosted(const Request &req)
+{
+    BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents_,
+                  "agent id out of range: ", req.agent);
+    if (req.priority && !enablePriority_)
+        BUSARB_FATAL("priority request posted but priority is disabled");
+    pending_.add(req);
+    if (req.priority) {
+        // Priority requests compete in every arbitration (Section 2.4).
+        ++priorityPending_;
+        return;
+    }
+    if (batch_.empty()) {
+        // Request line reads 0: the request asserts it and forms a new
+        // batch.
+        formNewBatch(req.issued);
+    } else if (req.issued == batchFormedAt_) {
+        // The batch formed at this very instant; the line assertion has
+        // not propagated yet, so this request joins it too.
+        batch_.push_back(req.seq);
+    }
+    // Otherwise: a batch is in progress; the request waits for its end.
+}
+
+bool
+BatchAapProtocol::wantsPass() const
+{
+    // Batch members assert the request line (and the batch is non-empty
+    // whenever a non-priority request is pending, since a new batch
+    // forms the moment the old one drains); priority requests assert it
+    // unconditionally.
+    return !batch_.empty() || priorityPending_ > 0;
+}
+
+void
+BatchAapProtocol::beginPass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(!passOpen_, "beginPass with a pass already open");
+    passOpen_ = true;
+    frozen_.clear();
+    std::vector<bool> prio_added(
+        static_cast<std::size_t>(numAgents_) + 1, false);
+    pending_.forEach([&](PendingEntry &e) {
+        if (e.req.priority) {
+            if (prio_added[static_cast<std::size_t>(e.req.agent)])
+                return; // an agent presents its oldest priority request
+            prio_added[static_cast<std::size_t>(e.req.agent)] = true;
+            // Priority line asserted: most significant bit.
+            frozen_.push_back(FrozenCompetitor{
+                e.req.agent,
+                (1ULL << idBits_) |
+                    static_cast<std::uint64_t>(e.req.agent),
+                e.req.seq});
+        } else if (inBatch(e.req.seq)) {
+            frozen_.push_back(FrozenCompetitor{
+                e.req.agent, static_cast<std::uint64_t>(e.req.agent),
+                e.req.seq});
+        }
+    });
+}
+
+PassResult
+BatchAapProtocol::completePass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(passOpen_, "completePass without beginPass");
+    passOpen_ = false;
+    if (frozen_.empty()) {
+        BUSARB_ASSERT(batch_.empty(),
+                      "batch members vanished without service");
+        return PassResult::makeIdle();
+    }
+    const FrozenCompetitor *best = &frozen_.front();
+    for (const auto &c : frozen_) {
+        if (c.word > best->word)
+            best = &c;
+    }
+    PendingEntry *winner = pending_.findBySeq(best->agent, best->seq);
+    BUSARB_ASSERT(winner != nullptr, "winning request vanished");
+    return PassResult::makeWinner(winner->req);
+}
+
+void
+BatchAapProtocol::tenureStarted(const Request &req, Tick now)
+{
+    (void)now;
+    if (req.priority) {
+        BUSARB_ASSERT(priorityPending_ > 0, "priority count underflow");
+        --priorityPending_;
+        pending_.popBySeq(req.agent, req.seq);
+        return;
+    }
+    // The agent releases the request line at the start of its tenure.
+    auto it = std::find(batch_.begin(), batch_.end(), req.seq);
+    BUSARB_ASSERT(it != batch_.end(), "served request was not in batch");
+    batch_.erase(it);
+    pending_.popBySeq(req.agent, req.seq);
+    if (batch_.empty()) {
+        // The request line drops to 0: every waiting request asserts it
+        // and the next batch forms.
+        formNewBatch(now);
+    }
+}
+
+int
+BatchAapProtocol::settleRoundsForPass() const
+{
+    std::vector<Competitor> competitors;
+    competitors.reserve(frozen_.size());
+    for (const auto &c : frozen_)
+        competitors.push_back(Competitor{c.agent, c.word});
+    return settleRounds(linesForAgents(numAgents_), competitors);
+}
+
+std::string
+BatchAapProtocol::name() const
+{
+    return "AAP-1 (Fastbus/NuBus/Multibus II batching)";
+}
+
+} // namespace busarb

@@ -1,0 +1,104 @@
+#include "baseline/ticket_fcfs.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+TicketFcfsProtocol::TicketFcfsProtocol(const TicketFcfsConfig &config)
+    : config_(config)
+{
+    BUSARB_ASSERT(config_.ticketBits >= 0 && config_.ticketBits <= 62,
+                  "ticket width out of range: ", config_.ticketBits);
+}
+
+void
+TicketFcfsProtocol::reset(int num_agents)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    numAgents_ = num_agents;
+    nextTicket_ = 0;
+    pending_.reset(num_agents);
+    frozen_.clear();
+    passOpen_ = false;
+}
+
+void
+TicketFcfsProtocol::requestPosted(const Request &req)
+{
+    BUSARB_ASSERT(!req.priority,
+                  "the ticket arbiter models non-priority traffic only");
+    PendingEntry &entry = pending_.add(req);
+    std::uint64_t ticket = nextTicket_++;
+    if (config_.ticketBits > 0)
+        ticket &= (1ULL << config_.ticketBits) - 1ULL;
+    // Reuse the entry's counter field to hold the ticket.
+    entry.counter = ticket;
+}
+
+bool
+TicketFcfsProtocol::wantsPass() const
+{
+    return !pending_.empty();
+}
+
+bool
+TicketFcfsProtocol::ticketBefore(std::uint64_t a, std::uint64_t b) const
+{
+    if (config_.ticketBits == 0)
+        return a < b;
+    // Circular comparison: a precedes b when (b - a) mod 2^w is in the
+    // lower half of the ring. Correct while the outstanding window is
+    // smaller than 2^(w-1) tickets.
+    const std::uint64_t mask = (1ULL << config_.ticketBits) - 1ULL;
+    const std::uint64_t diff = (b - a) & mask;
+    return diff != 0 && diff < (1ULL << (config_.ticketBits - 1));
+}
+
+void
+TicketFcfsProtocol::beginPass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(!passOpen_, "beginPass with a pass already open");
+    passOpen_ = true;
+    frozen_.clear();
+    pending_.forEachAgentOldest([&](PendingEntry &e) {
+        frozen_.push_back(
+            FrozenCompetitor{e.req.agent, e.counter, e.req.seq});
+    });
+}
+
+PassResult
+TicketFcfsProtocol::completePass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(passOpen_, "completePass without beginPass");
+    passOpen_ = false;
+    if (frozen_.empty()) {
+        BUSARB_ASSERT(pending_.empty(),
+                      "pass frozen empty with requests pending");
+        return PassResult::makeIdle();
+    }
+    const FrozenCompetitor *best = &frozen_.front();
+    for (const auto &c : frozen_) {
+        if (ticketBefore(c.ticket, best->ticket))
+            best = &c;
+    }
+    PendingEntry *winner = pending_.findBySeq(best->agent, best->seq);
+    BUSARB_ASSERT(winner != nullptr, "winning request vanished");
+    return PassResult::makeWinner(winner->req);
+}
+
+void
+TicketFcfsProtocol::tenureStarted(const Request &req, Tick now)
+{
+    (void)now;
+    pending_.popBySeq(req.agent, req.seq);
+}
+
+std::string
+TicketFcfsProtocol::name() const
+{
+    return "Ticket FCFS [ShAh81]";
+}
+
+} // namespace busarb

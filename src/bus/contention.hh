@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The parallel contention arbiter: wired-OR maximum finding (Section 2.1).
+ *
+ * Every competing agent applies its k-bit arbitration number to k wired-OR
+ * lines and monitors them. When an agent sees a 1 on a line it is driving
+ * with 0, it removes the lower-order bits of its number; if the line drops
+ * back to 0 it re-applies them. The lines settle to the maximum competing
+ * number. Taub proved the settle time is at most k/2 end-to-end bus
+ * propagation delays [Taub84].
+ *
+ * Two views are provided:
+ *  - settle(): an explicit round-by-round simulation of the remove/re-apply
+ *    process over WiredOrLine instances, reporting how many propagation
+ *    rounds were needed. Used to validate the mechanism and the timing
+ *    model, and by the micro-benchmarks.
+ *  - selectMax(): the logical outcome (maximum word, ties impossible since
+ *    words embed unique static identities), used by the protocol layer in
+ *    the performance simulations where only the result and a fixed
+ *    overhead matter.
+ */
+
+#ifndef BUSARB_BUS_CONTENTION_HH
+#define BUSARB_BUS_CONTENTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/** A competitor in one arbitration: an agent and its composite word. */
+struct Competitor
+{
+    AgentId agent = kNoAgent;
+
+    /**
+     * The value driven onto the arbitration lines. For the plain parallel
+     * contention arbiter this is the static identity; the RR and FCFS
+     * protocols prepend dynamic high-order fields (Section 3).
+     */
+    std::uint64_t word = 0;
+};
+
+/** Outcome of the bit-level settle process. */
+struct SettleResult
+{
+    /** The value the lines carry at steady state (0 if nobody competed). */
+    std::uint64_t settledWord = 0;
+
+    /** The winning agent (kNoAgent if nobody competed). */
+    AgentId winner = kNoAgent;
+
+    /**
+     * Number of propagation rounds until no agent changed its applied
+     * word. One round models one end-to-end bus propagation delay in
+     * which every agent re-evaluates the lines simultaneously.
+     */
+    int rounds = 0;
+};
+
+/**
+ * Bit-level model of the parallel contention arbiter.
+ */
+class ContentionArbiter
+{
+  public:
+    /**
+     * @param num_lines Number of arbitration lines k; words must fit in
+     *        k bits. Must be in [1, 63].
+     */
+    explicit ContentionArbiter(int num_lines);
+
+    /** @return Number of arbitration lines. */
+    int numLines() const { return numLines_; }
+
+    /**
+     * Run the remove/re-apply settle process to a fixed point.
+     *
+     * @param competitors The agents applying words this arbitration.
+     * @return Settled word, winner, and propagation-round count.
+     */
+    SettleResult settle(const std::vector<Competitor> &competitors) const;
+
+  private:
+    int numLines_;
+
+    /** @return The word agent applies when the lines carry `lines`. */
+    std::uint64_t appliedWord(std::uint64_t identity,
+                              std::uint64_t lines) const;
+};
+
+/**
+ * Logical maximum finding over competitor words.
+ *
+ * @param competitors Competing agents. Words must be unique: the static
+ *        identity in the low bits guarantees this for every protocol in
+ *        this library. Duplicate maximal words would mean two agents both
+ *        believe they won (a protocol design error), so this panics.
+ * @return The winning agent, or kNoAgent when the set is empty.
+ */
+AgentId selectMax(const std::vector<Competitor> &competitors);
+
+/**
+ * Number of arbitration lines needed for N agents: ceil(log2(N + 1)),
+ * since identity 0 is reserved (Section 2.1).
+ *
+ * @param num_agents Number of agents N >= 1.
+ * @return Line count k.
+ */
+int linesForAgents(int num_agents);
+
+/**
+ * Convenience: the settle-round count for one contest.
+ *
+ * @param num_lines Arbitration line count k.
+ * @param competitors Competing words (may be empty: 0 rounds).
+ * @return Propagation rounds the wired-OR lines need to settle.
+ */
+int settleRounds(int num_lines, const std::vector<Competitor> &competitors);
+
+} // namespace busarb
+
+#endif // BUSARB_BUS_CONTENTION_HH

@@ -1,0 +1,152 @@
+#include "bus/protocol_checker.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+ProtocolChecker::ProtocolChecker(
+    std::unique_ptr<ArbitrationProtocol> inner, int max_retries)
+    : inner_(std::move(inner)), maxRetries_(max_retries)
+{
+    BUSARB_ASSERT(inner_ != nullptr, "checker needs a protocol");
+    BUSARB_ASSERT(max_retries >= 1, "max retries must be >= 1");
+}
+
+void
+ProtocolChecker::checkTickMonotonic(Tick now)
+{
+    BUSARB_ASSERT(now >= lastTick_,
+                  "protocol driven backwards in time: ", now, " < ",
+                  lastTick_);
+    lastTick_ = now;
+}
+
+void
+ProtocolChecker::reset(int num_agents)
+{
+    inner_->reset(num_agents);
+    wasReset_ = true;
+    passOpen_ = false;
+    consecutiveRetries_ = 0;
+    numAgents_ = num_agents;
+    posted_ = 0;
+    served_ = 0;
+    lastTick_ = 0;
+    outstanding_.clear();
+    inService_.clear();
+    winnerPending_ = false;
+}
+
+void
+ProtocolChecker::requestPosted(const Request &req)
+{
+    BUSARB_ASSERT(wasReset_, "requestPosted before reset");
+    BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents_,
+                  "posted agent out of range: ", req.agent);
+    BUSARB_ASSERT(req.seq != 0, "posted request without a sequence");
+    BUSARB_ASSERT(!outstanding_.count(req.seq),
+                  "request seq ", req.seq, " posted twice");
+    checkTickMonotonic(req.issued);
+    outstanding_.emplace(req.seq, req);
+    ++posted_;
+    inner_->requestPosted(req);
+    BUSARB_ASSERT(inner_->wantsPass(),
+                  "protocol does not want a pass right after a post");
+}
+
+bool
+ProtocolChecker::wantsPass() const
+{
+    const bool wants = inner_->wantsPass();
+    BUSARB_ASSERT(!(!wants && !outstanding_.empty()),
+                  "requests outstanding but protocol refuses a pass");
+    return wants;
+}
+
+void
+ProtocolChecker::beginPass(Tick now)
+{
+    BUSARB_ASSERT(wasReset_, "beginPass before reset");
+    BUSARB_ASSERT(!passOpen_, "beginPass while a pass is open");
+    BUSARB_ASSERT(!winnerPending_,
+                  "beginPass while a winner awaits its tenure");
+    checkTickMonotonic(now);
+    passOpen_ = true;
+    inner_->beginPass(now);
+}
+
+PassResult
+ProtocolChecker::completePass(Tick now)
+{
+    BUSARB_ASSERT(passOpen_, "completePass without beginPass");
+    checkTickMonotonic(now);
+    passOpen_ = false;
+    const PassResult result = inner_->completePass(now);
+    switch (result.kind) {
+      case PassResult::Kind::kWinner: {
+        consecutiveRetries_ = 0;
+        const auto it = outstanding_.find(result.winner.seq);
+        BUSARB_ASSERT(it != outstanding_.end(),
+                      "winner seq ", result.winner.seq,
+                      " was never posted or already served");
+        BUSARB_ASSERT(it->second.agent == result.winner.agent,
+                      "winner agent mismatch");
+        BUSARB_ASSERT(result.winner.issued <= now,
+                      "winner issued in the future");
+        announcedWinner_ = result.winner.seq;
+        winnerPending_ = true;
+        break;
+      }
+      case PassResult::Kind::kRetry:
+        ++consecutiveRetries_;
+        BUSARB_ASSERT(consecutiveRetries_ <= maxRetries_,
+                      "protocol livelock: ", consecutiveRetries_,
+                      " consecutive retry passes");
+        BUSARB_ASSERT(!outstanding_.empty(),
+                      "retry pass with nothing outstanding");
+        break;
+      case PassResult::Kind::kIdle:
+        consecutiveRetries_ = 0;
+        // Requests posted between beginPass and completePass may be
+        // outstanding without having competed; idle is only wrong if
+        // the protocol keeps claiming it wants a pass yet never
+        // produces a winner, which the retry bound catches.
+        break;
+    }
+    return result;
+}
+
+void
+ProtocolChecker::tenureStarted(const Request &req, Tick now)
+{
+    BUSARB_ASSERT(winnerPending_, "tenure started without a winner");
+    BUSARB_ASSERT(req.seq == announcedWinner_,
+                  "tenure started for seq ", req.seq,
+                  " but the protocol selected ", announcedWinner_);
+    checkTickMonotonic(now);
+    winnerPending_ = false;
+    const auto erased = outstanding_.erase(req.seq);
+    BUSARB_ASSERT(erased == 1, "served request was not outstanding");
+    inService_.insert(req.seq);
+    ++served_;
+    inner_->tenureStarted(req, now);
+}
+
+void
+ProtocolChecker::tenureEnded(const Request &req, Tick now)
+{
+    BUSARB_ASSERT(inService_.erase(req.seq) == 1,
+                  "tenure ended for a request not in service");
+    checkTickMonotonic(now);
+    inner_->tenureEnded(req, now);
+}
+
+std::string
+ProtocolChecker::name() const
+{
+    return inner_->name() + " [checked]";
+}
+
+} // namespace busarb

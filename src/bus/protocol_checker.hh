@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A checking decorator for arbitration protocols.
+ *
+ * Wraps any ArbitrationProtocol and verifies the engine/protocol
+ * contract on every call:
+ *  - lifecycle: reset before use; beginPass/completePass strictly
+ *    alternate; tenureStarted only for a request the protocol selected;
+ *  - conservation: every posted request is served at most once, winners
+ *    were actually posted and not yet served;
+ *  - liveness accounting: wantsPass() is true whenever requests are
+ *    outstanding;
+ *  - bounded retries: a pass chain must reach a winner within a small
+ *    number of retries (no livelock).
+ *
+ * Used by the property/fuzz tests to harden every protocol in the
+ * library, and available to users developing their own protocols.
+ */
+
+#ifndef BUSARB_BUS_PROTOCOL_CHECKER_HH
+#define BUSARB_BUS_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bus/protocol.hh"
+
+namespace busarb {
+
+/**
+ * Contract-checking wrapper around another protocol.
+ */
+class ProtocolChecker : public ArbitrationProtocol
+{
+  public:
+    /**
+     * @param inner The protocol to check; owned by the checker.
+     * @param max_retries Maximum kRetry results tolerated in a row.
+     */
+    explicit ProtocolChecker(std::unique_ptr<ArbitrationProtocol> inner,
+                             int max_retries = 3);
+
+    void reset(int num_agents) override;
+    void requestPosted(const Request &req) override;
+    bool wantsPass() const override;
+    void beginPass(Tick now) override;
+    PassResult completePass(Tick now) override;
+    void tenureStarted(const Request &req, Tick now) override;
+    void tenureEnded(const Request &req, Tick now) override;
+    std::string name() const override;
+
+    int
+    settleRoundsForPass() const override
+    {
+        return inner_->settleRoundsForPass();
+    }
+
+    int
+    arbitrationLineCount() const override
+    {
+        return inner_->arbitrationLineCount();
+    }
+
+    /** @return The wrapped protocol. */
+    ArbitrationProtocol &inner() { return *inner_; }
+
+    /** @return Requests posted so far. */
+    std::uint64_t posted() const { return posted_; }
+
+    /** @return Requests served so far. */
+    std::uint64_t served() const { return served_; }
+
+  private:
+    std::unique_ptr<ArbitrationProtocol> inner_;
+    int maxRetries_;
+    bool wasReset_ = false;
+    bool passOpen_ = false;
+    int consecutiveRetries_ = 0;
+    int numAgents_ = 0;
+    std::uint64_t posted_ = 0;
+    std::uint64_t served_ = 0;
+    Tick lastTick_ = 0;
+
+    /** seq -> outstanding request (posted, not yet served). */
+    std::unordered_map<std::uint64_t, Request> outstanding_;
+
+    /** seq of the winner announced by the last completePass. */
+    std::uint64_t announcedWinner_ = 0;
+    bool winnerPending_ = false;
+
+    /** seqs currently being served (tenure started, not ended). */
+    std::unordered_set<std::uint64_t> inService_;
+
+    void checkTickMonotonic(Tick now);
+};
+
+} // namespace busarb
+
+#endif // BUSARB_BUS_PROTOCOL_CHECKER_HH

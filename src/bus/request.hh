@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A bus request as seen by the arbitration layer.
+ */
+
+#ifndef BUSARB_BUS_REQUEST_HH
+#define BUSARB_BUS_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/**
+ * One agent's outstanding request for bus ownership.
+ *
+ * Agents may have several outstanding requests when the FCFS protocol's
+ * multiple-outstanding-request extension (Section 3.2) is enabled; `seq`
+ * distinguishes them and provides a deterministic global issue order.
+ */
+struct Request
+{
+    /** Static identity of the requesting agent (1..N). */
+    AgentId agent = kNoAgent;
+
+    /** Tick at which the request was issued (request line asserted). */
+    Tick issued = 0;
+
+    /** True for urgent requests using the priority-integration machinery. */
+    bool priority = false;
+
+    /** Global issue sequence number (strictly increasing). */
+    std::uint64_t seq = 0;
+
+    /** @return True if this describes a real request. */
+    bool valid() const { return agent != kNoAgent; }
+};
+
+} // namespace busarb
+
+#endif // BUSARB_BUS_REQUEST_HH

@@ -1,0 +1,91 @@
+#include "bus/trace.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace busarb {
+
+TextTracer::TextTracer(std::ostream &os, std::uint64_t max_events)
+    : os_(os), maxEvents_(max_events)
+{
+}
+
+bool
+TextTracer::admit()
+{
+    if (maxEvents_ != 0 && events_ >= maxEvents_)
+        return false;
+    ++events_;
+    if (maxEvents_ != 0 && events_ == maxEvents_) {
+        os_ << "          ... (trace truncated after " << maxEvents_
+            << " events)\n";
+        return false;
+    }
+    return true;
+}
+
+void
+TextTracer::stamp(Tick now)
+{
+    os_ << "[" << std::setw(9) << std::fixed << std::setprecision(3)
+        << ticksToUnits(now) << "] ";
+}
+
+void
+TextTracer::onRequestPosted(const Request &req)
+{
+    if (!admit())
+        return;
+    stamp(req.issued);
+    os_ << "agent " << std::setw(2) << req.agent << " asserts request"
+        << (req.priority ? " (priority)" : "") << "\n";
+}
+
+void
+TextTracer::onPassStarted(Tick now)
+{
+    if (!admit())
+        return;
+    stamp(now);
+    os_ << "arbitration pass starts\n";
+}
+
+void
+TextTracer::onPassResolved(Tick now, const Request &winner, bool retry)
+{
+    if (!admit())
+        return;
+    stamp(now);
+    if (winner.valid()) {
+        os_ << "arbitration resolves: agent " << winner.agent
+            << " wins\n";
+    } else if (retry) {
+        os_ << "arbitration resolves empty (release/wrap cycle)\n";
+    } else {
+        os_ << "arbitration resolves with no competitors\n";
+    }
+}
+
+void
+TextTracer::onTenureStarted(const Request &req, Tick now)
+{
+    if (!admit())
+        return;
+    stamp(now);
+    os_ << "agent " << std::setw(2) << req.agent
+        << " becomes bus master (waited "
+        << std::setprecision(3) << ticksToUnits(now - req.issued)
+        << ")\n";
+}
+
+void
+TextTracer::onTenureEnded(const Request &req, Tick now)
+{
+    if (!admit())
+        return;
+    stamp(now);
+    os_ << "agent " << std::setw(2) << req.agent
+        << " releases the bus\n";
+}
+
+} // namespace busarb

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Bus activity tracing.
+ *
+ * One of the paper's arguments for the parallel contention arbiter
+ * (Section 1) is that "the state of the arbiter is available and can be
+ * monitored on the bus. This is useful for software initialization of
+ * the system and for diagnosing system failures." This module is that
+ * monitor for the simulation: a tracer receives every externally
+ * visible bus event — request-line assertions, arbitration pass starts
+ * and resolutions, bus tenures — and can render them as a timeline or
+ * feed custom diagnostics.
+ */
+
+#ifndef BUSARB_BUS_TRACE_HH
+#define BUSARB_BUS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "bus/request.hh"
+#include "sim/types.hh"
+
+namespace busarb {
+
+/**
+ * Receives bus-level events. All callbacks default to no-ops so
+ * implementations override only what they need.
+ */
+class BusTracer
+{
+  public:
+    virtual ~BusTracer() = default;
+
+    /** An agent asserted the request line. */
+    virtual void
+    onRequestPosted(const Request &req)
+    {
+        (void)req;
+    }
+
+    /** An arbitration pass began (competitors frozen). */
+    virtual void
+    onPassStarted(Tick now)
+    {
+        (void)now;
+    }
+
+    /**
+     * An arbitration pass resolved.
+     *
+     * @param now Resolution tick.
+     * @param winner The winning request; invalid() for an empty pass
+     *        (fairness release / round-robin wrap).
+     * @param retry True when the protocol asked for an immediate retry.
+     */
+    virtual void
+    onPassResolved(Tick now, const Request &winner, bool retry)
+    {
+        (void)now;
+        (void)winner;
+        (void)retry;
+    }
+
+    /** A bus tenure (transfer) began for `req`. */
+    virtual void
+    onTenureStarted(const Request &req, Tick now)
+    {
+        (void)req;
+        (void)now;
+    }
+
+    /** The transfer for `req` completed. */
+    virtual void
+    onTenureEnded(const Request &req, Tick now)
+    {
+        (void)req;
+        (void)now;
+    }
+};
+
+/**
+ * Renders bus events as a human-readable timeline on a stream.
+ */
+class TextTracer : public BusTracer
+{
+  public:
+    /**
+     * @param os Output stream (must outlive the tracer).
+     * @param max_events Stop printing after this many events (guards
+     *        against accidentally tracing a full-length run); 0 means
+     *        unlimited.
+     */
+    explicit TextTracer(std::ostream &os, std::uint64_t max_events = 0);
+
+    void onRequestPosted(const Request &req) override;
+    void onPassStarted(Tick now) override;
+    void onPassResolved(Tick now, const Request &winner,
+                        bool retry) override;
+    void onTenureStarted(const Request &req, Tick now) override;
+    void onTenureEnded(const Request &req, Tick now) override;
+
+    /** @return Events printed so far. */
+    std::uint64_t events() const { return events_; }
+
+  private:
+    std::ostream &os_;
+    std::uint64_t maxEvents_;
+    std::uint64_t events_ = 0;
+
+    /** @return True if the event budget allows printing another line. */
+    bool admit();
+
+    void stamp(Tick now);
+};
+
+} // namespace busarb
+
+#endif // BUSARB_BUS_TRACE_HH

@@ -1,0 +1,54 @@
+#include "bus/wired_or.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+WiredOrLine::WiredOrLine(int num_agents)
+    : driving_(static_cast<std::size_t>(num_agents) + 1, false)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent, got ",
+                  num_agents);
+}
+
+void
+WiredOrLine::assertLine(AgentId agent)
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
+                  "agent id out of range: ", agent);
+    if (driving_[static_cast<std::size_t>(agent)])
+        return;
+    driving_[static_cast<std::size_t>(agent)] = true;
+    if (numAsserting_ == 0)
+        ++risingEdges_;
+    ++numAsserting_;
+}
+
+void
+WiredOrLine::releaseLine(AgentId agent)
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
+                  "agent id out of range: ", agent);
+    if (!driving_[static_cast<std::size_t>(agent)])
+        return;
+    driving_[static_cast<std::size_t>(agent)] = false;
+    --numAsserting_;
+    BUSARB_ASSERT(numAsserting_ >= 0, "assert count underflow");
+}
+
+bool
+WiredOrLine::isAsserting(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
+                  "agent id out of range: ", agent);
+    return driving_[static_cast<std::size_t>(agent)];
+}
+
+void
+WiredOrLine::clear()
+{
+    driving_.assign(driving_.size(), false);
+    numAsserting_ = 0;
+}
+
+} // namespace busarb

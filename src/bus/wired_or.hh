@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model of an open-collector ("wired-OR") bus line.
+ *
+ * Section 2: "Each bus line used by the arbiter ... carries the wired-OR of
+ * the signals applied by all agents". Each agent either lets the line float
+ * (logical 0) or forces it to the asserted level (logical 1).
+ */
+
+#ifndef BUSARB_BUS_WIRED_OR_HH
+#define BUSARB_BUS_WIRED_OR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/**
+ * A single wired-OR line shared by a fixed set of agents.
+ *
+ * Tracks each driver's contribution so the line value can be recomputed
+ * exactly, and counts assert edges for protocol logic that reacts to
+ * pulses (the FCFS a-incr line of Section 3.2).
+ */
+class WiredOrLine
+{
+  public:
+    /**
+     * @param num_agents Number of attached agents; identities are 1..N.
+     */
+    explicit WiredOrLine(int num_agents);
+
+    /** Agent drives the line to 1. Idempotent. */
+    void assertLine(AgentId agent);
+
+    /** Agent stops driving the line. Idempotent. */
+    void releaseLine(AgentId agent);
+
+    /** @return Wired-OR value: true iff any agent is driving the line. */
+    bool read() const { return numAsserting_ > 0; }
+
+    /** @return True iff `agent` is currently driving the line. */
+    bool isAsserting(AgentId agent) const;
+
+    /** @return Number of agents currently driving the line. */
+    int numAsserting() const { return numAsserting_; }
+
+    /** @return Count of 0 -> 1 transitions of the line value. */
+    std::uint64_t risingEdges() const { return risingEdges_; }
+
+    /** Release all drivers. */
+    void clear();
+
+    /** @return Number of attached agents. */
+    int numAgents() const { return static_cast<int>(driving_.size()) - 1; }
+
+  private:
+    std::vector<bool> driving_; // indexed by AgentId, slot 0 unused
+    int numAsserting_ = 0;
+    std::uint64_t risingEdges_ = 0;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_BUS_WIRED_OR_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bus wiring cost model.
+ *
+ * The paper argues its protocols win on the combination of
+ * "efficiency, cost, and fairness". This module quantifies the cost
+ * axis: how many bus lines each protocol configuration needs, under
+ * the two arbitration-line encodings the paper discusses:
+ *
+ *  - full arbitration lines (one wired-OR line per identity bit;
+ *    winner identity visible to everyone; settle in ~k/2 propagations);
+ *  - binary-patterned lines [John83] (settle in ~1 propagation, but
+ *    the winner's identity is NOT broadcast — so the RR protocol needs
+ *    k extra broadcast lines to use them, paper footnote 2, while the
+ *    FCFS protocol can pattern only its static part, footnote 3).
+ *
+ * Counts cover the arbitration field plus the protocol's dedicated
+ * control lines (bus-request line, RR-priority/low-request line,
+ * a-incr lines); shared bus control (start-arbitration, grant) is
+ * common to every scheme and excluded.
+ */
+
+#ifndef BUSARB_CORE_COST_MODEL_HH
+#define BUSARB_CORE_COST_MODEL_HH
+
+#include <string>
+
+#include "core/fcfs.hh"
+#include "core/round_robin.hh"
+
+namespace busarb {
+
+/** Line encoding for the arbitration number field. */
+enum class LineEncoding {
+    kFull,
+    kBinaryPatterned,
+};
+
+/** Wiring bill for one protocol configuration. */
+struct WiringCost
+{
+    /** Lines carrying identity / counter / priority bits. */
+    int arbitrationLines = 0;
+
+    /** Winner-broadcast lines (binary-patterned RR only). */
+    int broadcastLines = 0;
+
+    /** Protocol-specific control lines (request, rr-priority, a-incr). */
+    int controlLines = 0;
+
+    /** Nominal arbitration time, in end-to-end propagation delays. */
+    double arbitrationPropagations = 0.0;
+
+    /** @return Total dedicated lines. */
+    int
+    totalLines() const
+    {
+        return arbitrationLines + broadcastLines + controlLines;
+    }
+};
+
+/**
+ * Wiring cost of the basic fixed-priority parallel contention arbiter.
+ *
+ * @param num_agents N.
+ * @param encoding Arbitration-line encoding.
+ * @return The line/timing bill.
+ */
+WiringCost fixedPriorityCost(int num_agents, LineEncoding encoding);
+
+/**
+ * Wiring cost of the assured-access protocols (either batching rule:
+ * both use only the request line plus the plain arbitration field;
+ * AAP-2's inhibit state is agent-internal).
+ */
+WiringCost assuredAccessCost(int num_agents, LineEncoding encoding);
+
+/**
+ * Wiring cost of the distributed RR protocol.
+ *
+ * @param num_agents N.
+ * @param config Protocol configuration (implementation, priority).
+ * @param encoding Arbitration-line encoding. Binary-patterned lines do
+ *        not broadcast the winner, which RR requires: k broadcast
+ *        lines are added (paper footnote 2).
+ */
+WiringCost roundRobinCost(int num_agents, const RrConfig &config,
+                          LineEncoding encoding);
+
+/**
+ * Wiring cost of the distributed FCFS protocol.
+ *
+ * @param num_agents N.
+ * @param config Protocol configuration (strategy, counter width,
+ *        priority options).
+ * @param encoding Encoding of the static part only; the dynamic
+ *        counter field always needs full lines (its value changes
+ *        between arbitrations), which is how binary patterning "makes
+ *        up for the higher overhead" (paper footnote 3).
+ */
+WiringCost fcfsCost(int num_agents, const FcfsConfig &config,
+                    LineEncoding encoding);
+
+/** @return A one-line human-readable rendering of a cost. */
+std::string describeCost(const WiringCost &cost);
+
+} // namespace busarb
+
+#endif // BUSARB_CORE_COST_MODEL_HH

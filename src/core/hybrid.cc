@@ -1,0 +1,127 @@
+#include "core/hybrid.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+HybridProtocol::HybridProtocol(const HybridConfig &config) : config_(config)
+{
+    BUSARB_ASSERT(config_.counterBits >= 0 && config_.counterBits <= 32,
+                  "counter width out of range: ", config_.counterBits);
+}
+
+void
+HybridProtocol::reset(int num_agents)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    numAgents_ = num_agents;
+    idBits_ = linesForAgents(num_agents);
+    counterBits_ =
+        (config_.counterBits > 0) ? config_.counterBits : idBits_;
+    counterMax_ = (1ULL << counterBits_) - 1ULL;
+    recordedWinner_ = num_agents + 1;
+    pending_.reset(num_agents);
+    frozen_.clear();
+    passOpen_ = false;
+}
+
+void
+HybridProtocol::requestPosted(const Request &req)
+{
+    BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents_,
+                  "agent id out of range: ", req.agent);
+    BUSARB_ASSERT(!req.priority,
+                  "the hybrid protocol does not support priority requests");
+    pending_.add(req);
+}
+
+bool
+HybridProtocol::wantsPass() const
+{
+    return !pending_.empty();
+}
+
+std::uint64_t
+HybridProtocol::wordFor(const PendingEntry &e) const
+{
+    const auto id = static_cast<std::uint64_t>(e.req.agent);
+    const std::uint64_t counter =
+        (e.counter <= counterMax_) ? e.counter : counterMax_;
+    const std::uint64_t rr_bit =
+        (e.req.agent < recordedWinner_) ? 1ULL : 0ULL;
+    return (counter << (idBits_ + 1)) | (rr_bit << idBits_) | id;
+}
+
+void
+HybridProtocol::beginPass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(!passOpen_, "beginPass with a pass already open");
+    passOpen_ = true;
+    frozen_.clear();
+    pending_.forEach([](PendingEntry &e) { e.inPass = true; });
+    pending_.forEachAgentOldest([&](PendingEntry &e) {
+        // One outstanding word per agent; the oldest request has the
+        // largest counter, so it is the one the agent presents.
+        frozen_.push_back(
+            FrozenCompetitor{e.req.agent, wordFor(e), e.req.seq});
+    });
+}
+
+PassResult
+HybridProtocol::completePass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(passOpen_, "completePass without beginPass");
+    passOpen_ = false;
+
+    if (frozen_.empty()) {
+        BUSARB_ASSERT(pending_.empty(),
+                      "hybrid pass frozen empty with requests pending");
+        return PassResult::makeIdle();
+    }
+
+    const FrozenCompetitor *best = nullptr;
+    for (const auto &c : frozen_) {
+        if (best == nullptr || c.word > best->word)
+            best = &c;
+    }
+
+    PendingEntry *winner = pending_.findBySeq(best->agent, best->seq);
+    BUSARB_ASSERT(winner != nullptr, "winning request vanished");
+    const Request won = winner->req;
+
+    recordedWinner_ = won.agent;
+    pending_.forEach([&](PendingEntry &e) {
+        if (e.inPass && e.req.seq != won.seq)
+            ++e.counter;
+        e.inPass = false;
+    });
+
+    return PassResult::makeWinner(won);
+}
+
+void
+HybridProtocol::tenureStarted(const Request &req, Tick now)
+{
+    (void)now;
+    pending_.popBySeq(req.agent, req.seq);
+}
+
+int
+HybridProtocol::settleRoundsForPass() const
+{
+    std::vector<Competitor> competitors;
+    competitors.reserve(frozen_.size());
+    for (const auto &c : frozen_)
+        competitors.push_back(Competitor{c.agent, c.word});
+    return settleRounds(counterBits_ + 1 + idBits_, competitors);
+}
+
+std::string
+HybridProtocol::name() const
+{
+    return "Hybrid (FCFS with RR tie-break)";
+}
+
+} // namespace busarb

@@ -1,0 +1,102 @@
+#include "core/pending_requests.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+void
+PendingRequests::reset(int num_agents)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    queues_.assign(static_cast<std::size_t>(num_agents) + 1, {});
+    total_ = 0;
+}
+
+PendingEntry &
+PendingRequests::add(const Request &req)
+{
+    BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents(),
+                  "agent id out of range: ", req.agent);
+    auto &dq = queues_[static_cast<std::size_t>(req.agent)];
+    dq.push_back(PendingEntry{req, 0, 0, false});
+    ++total_;
+    return dq.back();
+}
+
+bool
+PendingRequests::hasAgent(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
+                  "agent id out of range: ", agent);
+    return !queues_[static_cast<std::size_t>(agent)].empty();
+}
+
+PendingEntry &
+PendingRequests::oldest(AgentId agent)
+{
+    BUSARB_ASSERT(hasAgent(agent), "agent ", agent,
+                  " has no pending request");
+    return queues_[static_cast<std::size_t>(agent)].front();
+}
+
+const PendingEntry &
+PendingRequests::oldest(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents() &&
+                  !queues_[static_cast<std::size_t>(agent)].empty(),
+                  "agent ", agent, " has no pending request");
+    return queues_[static_cast<std::size_t>(agent)].front();
+}
+
+std::vector<AgentId>
+PendingRequests::agentsWithRequests() const
+{
+    std::vector<AgentId> result;
+    for (std::size_t id = 1; id < queues_.size(); ++id) {
+        if (!queues_[id].empty())
+            result.push_back(static_cast<AgentId>(id));
+    }
+    return result;
+}
+
+PendingEntry *
+PendingRequests::findBySeq(AgentId agent, std::uint64_t seq)
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
+                  "agent id out of range: ", agent);
+    for (auto &entry : queues_[static_cast<std::size_t>(agent)]) {
+        if (entry.req.seq == seq)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Request
+PendingRequests::popBySeq(AgentId agent, std::uint64_t seq)
+{
+    auto &dq = queues_[static_cast<std::size_t>(agent)];
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+        if (it->req.seq == seq) {
+            const Request req = it->req;
+            dq.erase(it);
+            BUSARB_ASSERT(total_ > 0, "pending count underflow");
+            --total_;
+            return req;
+        }
+    }
+    BUSARB_PANIC("request seq ", seq, " not pending for agent ", agent);
+}
+
+Request
+PendingRequests::popOldest(AgentId agent)
+{
+    auto &dq = queues_[static_cast<std::size_t>(agent)];
+    BUSARB_ASSERT(!dq.empty(), "agent ", agent, " has no pending request");
+    const Request req = dq.front().req;
+    dq.pop_front();
+    BUSARB_ASSERT(total_ > 0, "pending count underflow");
+    --total_;
+    return req;
+}
+
+} // namespace busarb

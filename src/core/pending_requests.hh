@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Bookkeeping for posted-but-unserved requests, shared by the protocol
+ * implementations.
+ *
+ * Each entry models one outstanding request together with the dynamic
+ * per-request state a distributed arbiter would keep in the requester's
+ * interface logic (waiting-time counter, arrival epoch, membership in the
+ * currently frozen arbitration pass).
+ */
+
+#ifndef BUSARB_CORE_PENDING_REQUESTS_HH
+#define BUSARB_CORE_PENDING_REQUESTS_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bus/request.hh"
+#include "sim/types.hh"
+
+namespace busarb {
+
+/** A pending request plus its protocol-side dynamic state. */
+struct PendingEntry
+{
+    Request req;
+
+    /** Waiting-time counter (FCFS Section 3.2); raw, before width clip. */
+    std::uint64_t counter = 0;
+
+    /** a-incr epoch at arrival (FCFS implementation 2). */
+    std::uint64_t epoch = 0;
+
+    /** True while the request is a competitor in the frozen pass. */
+    bool inPass = false;
+};
+
+/**
+ * Per-agent FIFO queues of pending requests.
+ *
+ * Requests of one agent are served oldest-first; across agents the
+ * protocol decides.
+ */
+class PendingRequests
+{
+  public:
+    /** Clear and size for `num_agents` agents (identities 1..N). */
+    void reset(int num_agents);
+
+    /** Append a new request for its agent. */
+    PendingEntry &add(const Request &req);
+
+    /** @return True if no requests are pending at all. */
+    bool empty() const { return total_ == 0; }
+
+    /** @return Total pending requests. */
+    std::size_t size() const { return total_; }
+
+    /** @return True if `agent` has at least one pending request. */
+    bool hasAgent(AgentId agent) const;
+
+    /** @return Oldest pending entry of `agent` (must exist). */
+    PendingEntry &oldest(AgentId agent);
+    const PendingEntry &oldest(AgentId agent) const;
+
+    /**
+     * Remove and return the oldest pending request of `agent`.
+     *
+     * @param agent Agent whose request was served.
+     * @return The removed request.
+     */
+    Request popOldest(AgentId agent);
+
+    /**
+     * Find a pending entry by its request sequence number.
+     *
+     * @param agent Owning agent.
+     * @param seq Request sequence number.
+     * @return Pointer to the entry, or nullptr if not pending.
+     */
+    PendingEntry *findBySeq(AgentId agent, std::uint64_t seq);
+
+    /**
+     * Remove the entry with the given sequence number.
+     *
+     * @param agent Owning agent.
+     * @param seq Request sequence number; must be pending.
+     * @return The removed request.
+     */
+    Request popBySeq(AgentId agent, std::uint64_t seq);
+
+    /**
+     * Visit every pending entry (all agents, oldest to newest per agent).
+     *
+     * @param fn Callable taking (PendingEntry &).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &dq : queues_) {
+            for (auto &entry : dq)
+                fn(entry);
+        }
+    }
+
+    /**
+     * Visit the oldest pending entry of each agent that has one.
+     *
+     * @param fn Callable taking (PendingEntry &).
+     */
+    template <typename Fn>
+    void
+    forEachAgentOldest(Fn &&fn)
+    {
+        for (auto &dq : queues_) {
+            if (!dq.empty())
+                fn(dq.front());
+        }
+    }
+
+    /**
+     * Visit every pending entry of one agent, oldest first.
+     *
+     * @param agent Agent whose entries to visit.
+     * @param fn Callable taking (PendingEntry &).
+     */
+    template <typename Fn>
+    void
+    forEachOfAgent(AgentId agent, Fn &&fn)
+    {
+        for (auto &entry : queues_[static_cast<std::size_t>(agent)])
+            fn(entry);
+    }
+
+    /** @return The set of agents that currently have pending requests. */
+    std::vector<AgentId> agentsWithRequests() const;
+
+    /** @return Number of agents the container was reset for. */
+    int numAgents() const { return static_cast<int>(queues_.size()) - 1; }
+
+  private:
+    std::vector<std::deque<PendingEntry>> queues_; // index by agent id
+    std::size_t total_ = 0;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_CORE_PENDING_REQUESTS_HH

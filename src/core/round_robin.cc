@@ -1,0 +1,217 @@
+#include "core/round_robin.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+RoundRobinProtocol::RoundRobinProtocol(const RrConfig &config)
+    : config_(config)
+{
+    if (config_.enablePriority &&
+        config_.impl != RrImplementation::kPriorityBit) {
+        BUSARB_FATAL("priority requests are only supported by RR "
+                     "implementation 1 (kPriorityBit); see Section 3.1");
+    }
+}
+
+void
+RoundRobinProtocol::reset(int num_agents)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    numAgents_ = num_agents;
+    idBits_ = linesForAgents(num_agents);
+    // Before any arbitration every agent's identity is "below" the
+    // recorded winner, so the first arbitration is a plain contest that
+    // the highest requesting identity wins.
+    recordedWinner_ = num_agents + 1;
+    pending_.reset(num_agents);
+    frozen_.clear();
+    passOpen_ = false;
+}
+
+int
+RoundRobinProtocol::numLines() const
+{
+    // Static identity bits, plus the RR priority line for implementation 1
+    // (implementation 2's low-request line is a control line, not an
+    // arbitration line; implementation 3 adds nothing), plus the priority
+    // class line when enabled.
+    int lines = idBits_;
+    if (config_.impl == RrImplementation::kPriorityBit)
+        lines += 1;
+    if (config_.enablePriority)
+        lines += 1;
+    return lines;
+}
+
+void
+RoundRobinProtocol::requestPosted(const Request &req)
+{
+    BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents_,
+                  "agent id out of range: ", req.agent);
+    if (req.priority && !config_.enablePriority) {
+        BUSARB_FATAL("priority request posted but enablePriority is off");
+    }
+    pending_.add(req);
+}
+
+bool
+RoundRobinProtocol::wantsPass() const
+{
+    return !pending_.empty();
+}
+
+std::uint64_t
+RoundRobinProtocol::wordFor(const PendingEntry &e) const
+{
+    const auto id = static_cast<std::uint64_t>(e.req.agent);
+    switch (config_.impl) {
+      case RrImplementation::kPriorityBit: {
+        std::uint64_t rr_bit;
+        if (e.req.priority && !config_.rrWithinPriorityClass) {
+            // "Agents may ignore the round-robin protocol for priority
+            // requests by always setting the round-robin priority bit."
+            rr_bit = 1;
+        } else {
+            rr_bit = (e.req.agent < recordedWinner_) ? 1 : 0;
+        }
+        std::uint64_t word = (rr_bit << idBits_) | id;
+        if (config_.enablePriority && e.req.priority)
+            word |= 1ULL << (idBits_ + 1);
+        return word;
+      }
+      case RrImplementation::kLowRequestLine:
+      case RrImplementation::kNoExtraLine:
+        // Gating decides who competes; the word is the static identity.
+        return id;
+    }
+    BUSARB_PANIC("unreachable");
+}
+
+PendingEntry &
+RoundRobinProtocol::competingEntry(AgentId agent)
+{
+    // The request an agent presents is the one with the largest
+    // arbitration word (priority requests dominate; otherwise requests of
+    // one agent share the same word, so the oldest is presented).
+    PendingEntry *best = nullptr;
+    std::uint64_t best_word = 0;
+    pending_.forEachOfAgent(agent, [&](PendingEntry &e) {
+        const std::uint64_t w = wordFor(e);
+        if (best == nullptr || w > best_word) {
+            best = &e;
+            best_word = w;
+        }
+    });
+    BUSARB_ASSERT(best != nullptr, "no pending entry for agent ", agent);
+    return *best;
+}
+
+void
+RoundRobinProtocol::beginPass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(!passOpen_, "beginPass with a pass already open");
+    passOpen_ = true;
+    frozen_.clear();
+
+    // Which agents enter this arbitration?
+    const bool gate_low = config_.impl != RrImplementation::kPriorityBit;
+    bool any_low = false;
+    if (gate_low) {
+        for (AgentId a : pending_.agentsWithRequests()) {
+            if (a < recordedWinner_) {
+                any_low = true;
+                break;
+            }
+        }
+    }
+
+    for (AgentId a : pending_.agentsWithRequests()) {
+        if (gate_low) {
+            const bool is_low = a < recordedWinner_;
+            if (config_.impl == RrImplementation::kLowRequestLine) {
+                // Low-request line asserted: only low agents compete.
+                if (any_low && !is_low)
+                    continue;
+            } else { // kNoExtraLine
+                // Only low agents ever compete; an empty arbitration
+                // resets the recorded winner (handled in completePass).
+                if (!is_low)
+                    continue;
+            }
+        }
+        const PendingEntry &e = competingEntry(a);
+        frozen_.push_back(FrozenCompetitor{a, wordFor(e), e.req.seq});
+    }
+}
+
+PassResult
+RoundRobinProtocol::completePass(Tick now)
+{
+    (void)now;
+    BUSARB_ASSERT(passOpen_, "completePass without beginPass");
+    passOpen_ = false;
+
+    if (frozen_.empty()) {
+        if (pending_.empty())
+            return PassResult::makeIdle();
+        BUSARB_ASSERT(config_.impl == RrImplementation::kNoExtraLine,
+                      "empty competitor set is only possible in RR "
+                      "implementation 3");
+        // "A winning identity of zero indicates that no agent participated
+        // in the arbitration. In this case, the value N+1 is recorded as
+        // the winning value and a new arbitration is started immediately."
+        recordedWinner_ = numAgents_ + 1;
+        return PassResult::makeRetry();
+    }
+
+    const FrozenCompetitor *best = &frozen_.front();
+    for (const auto &c : frozen_) {
+        BUSARB_ASSERT(c.word != best->word || c.agent == best->agent,
+                      "duplicate arbitration word");
+        if (c.word > best->word)
+            best = &c;
+    }
+
+    // Every agent records the winner's static identity (excluding the
+    // round-robin priority bit) at the end of every arbitration.
+    recordedWinner_ = best->agent;
+
+    PendingEntry *entry = pending_.findBySeq(best->agent, best->seq);
+    BUSARB_ASSERT(entry != nullptr, "winning request vanished");
+    return PassResult::makeWinner(entry->req);
+}
+
+void
+RoundRobinProtocol::tenureStarted(const Request &req, Tick now)
+{
+    (void)now;
+    pending_.popBySeq(req.agent, req.seq);
+}
+
+int
+RoundRobinProtocol::settleRoundsForPass() const
+{
+    std::vector<Competitor> competitors;
+    competitors.reserve(frozen_.size());
+    for (const auto &c : frozen_)
+        competitors.push_back(Competitor{c.agent, c.word});
+    return settleRounds(numLines(), competitors);
+}
+
+std::string
+RoundRobinProtocol::name() const
+{
+    switch (config_.impl) {
+      case RrImplementation::kPriorityBit:
+        return "RR (impl 1: rr-priority bit)";
+      case RrImplementation::kLowRequestLine:
+        return "RR (impl 2: low-request line)";
+      case RrImplementation::kNoExtraLine:
+        return "RR (impl 3: no extra line)";
+    }
+    return "RR";
+}
+
+} // namespace busarb

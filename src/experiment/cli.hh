@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A small command-line flag parser for the tools and harnesses.
+ *
+ * Supports `--name value`, `--name=value`, and boolean `--name` flags,
+ * with typed accessors, defaults, and generated --help text. No
+ * external dependencies.
+ */
+
+#ifndef BUSARB_EXPERIMENT_CLI_HH
+#define BUSARB_EXPERIMENT_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace busarb {
+
+/**
+ * Declarative command-line parser.
+ *
+ * Declare flags with add*Flag, then parse(). Unknown flags and type
+ * errors are reported and fail the parse.
+ */
+class ArgParser
+{
+  public:
+    /**
+     * @param program Program name for the usage line.
+     * @param summary One-line description printed by --help.
+     */
+    ArgParser(std::string program, std::string summary);
+
+    /** Declare a string flag. */
+    void addStringFlag(const std::string &name,
+                       const std::string &default_value,
+                       const std::string &help);
+
+    /** Declare an integer flag. */
+    void addIntFlag(const std::string &name, long default_value,
+                    const std::string &help);
+
+    /** Declare a floating-point flag. */
+    void addDoubleFlag(const std::string &name, double default_value,
+                       const std::string &help);
+
+    /** Declare a boolean flag (present = true, or --name=false). */
+    void addBoolFlag(const std::string &name, bool default_value,
+                     const std::string &help);
+
+    /**
+     * Parse argv.
+     *
+     * @param argc Argument count.
+     * @param argv Argument vector.
+     * @retval true Parse succeeded (and --help was not requested).
+     * @retval false --help was printed or an error was reported; the
+     *         caller should exit (exitCode() tells how).
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** @return 0 after --help, 2 after a parse error, 0 otherwise. */
+    int exitCode() const { return exitCode_; }
+
+    /** Typed accessors (fatal on unknown name or wrong type). */
+    std::string getString(const std::string &name) const;
+    long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Positional arguments left after flag parsing. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the --help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { kString, kInt, kDouble, kBool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // current (default or parsed), as text
+        std::string defaultValue;
+    };
+
+    std::string program_;
+    std::string summary_;
+    std::map<std::string, Flag> flags_;
+    std::vector<std::string> declared_; // in declaration order
+    std::vector<std::string> positional_;
+    int exitCode_ = 0;
+
+    void declare(const std::string &name, Kind kind,
+                 const std::string &default_value,
+                 const std::string &help);
+
+    const Flag &find(const std::string &name, Kind kind) const;
+
+    /** @return False on malformed value for the flag's type. */
+    bool validate(const std::string &name, Flag &flag,
+                  const std::string &value);
+};
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_CLI_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Convenience factories for every protocol in the library, so benchmark
+ * harnesses and examples can select protocols by name.
+ */
+
+#ifndef BUSARB_EXPERIMENT_PROTOCOLS_HH
+#define BUSARB_EXPERIMENT_PROTOCOLS_HH
+
+#include <string>
+#include <vector>
+
+#include "baseline/ticket_fcfs.hh"
+#include "core/fcfs.hh"
+#include "core/hybrid.hh"
+#include "core/round_robin.hh"
+#include "experiment/runner.hh"
+
+namespace busarb {
+
+/** @return Factory for RR implementation 1/2/3 (Section 3.1). */
+ProtocolFactory makeRoundRobinFactory(RrImplementation impl =
+                                          RrImplementation::kPriorityBit);
+
+/** @return Factory for a fully configured RR protocol. */
+ProtocolFactory makeRoundRobinFactory(const RrConfig &config);
+
+/** @return Factory for FCFS strategy 1/2 (Section 3.2). */
+ProtocolFactory makeFcfsFactory(FcfsStrategy strategy =
+                                    FcfsStrategy::kIncrementOnLose);
+
+/** @return Factory for a fully configured FCFS protocol. */
+ProtocolFactory makeFcfsFactory(const FcfsConfig &config);
+
+/** @return Factory for the Section 5 hybrid protocol. */
+ProtocolFactory makeHybridFactory(const HybridConfig &config = {});
+
+/** @return Factory for the fixed-priority baseline. */
+ProtocolFactory makeFixedPriorityFactory(bool enable_priority = false);
+
+/** @return Factory for AAP-1 (Fastbus/NuBus/Multibus II batching). */
+ProtocolFactory makeBatchAapFactory();
+
+/** @return Factory for AAP-2 (Futurebus inhibit / fairness release). */
+ProtocolFactory makeFuturebusAapFactory();
+
+/** @return Factory for the central round-robin reference. */
+ProtocolFactory makeCentralRoundRobinFactory();
+
+/** @return Factory for the central FCFS reference. */
+ProtocolFactory makeCentralFcfsFactory();
+
+/** @return Factory for the Sharma-Ahuja ticket FCFS baseline. */
+ProtocolFactory makeTicketFcfsFactory(const TicketFcfsConfig &config = {});
+
+/** A named protocol factory, for iteration in harnesses. */
+struct NamedProtocol
+{
+    std::string key;
+    ProtocolFactory factory;
+};
+
+/** @return All protocols in the library, keyed by short name. */
+std::vector<NamedProtocol> allProtocols();
+
+/**
+ * Look up a protocol factory by its short key ("rr1", "rr2", "rr3",
+ * "fcfs1", "fcfs2", "hybrid", "fixed", "aap1", "aap2", "central-rr",
+ * "central-fcfs", "ticket").
+ *
+ * @param key Short name.
+ * @return The factory; fatal error if the key is unknown.
+ */
+ProtocolFactory protocolByKey(const std::string &key);
+
+/**
+ * Build a protocol factory from a spec string: a key optionally
+ * followed by ':' and comma-separated options, exposing the full
+ * configuration surface to the command-line tools.
+ *
+ *   rr1:priority,rr-within-class=false
+ *   fcfs2:window=0.05,bits=3,wrap,r=4
+ *   fcfs1:priority,counting=always
+ *   hybrid:bits=2
+ *   ticket:bits=6
+ *   fixed:priority
+ *   aap1:priority      aap2:priority
+ *
+ * Options by family — rr*: `priority`, `rr-within-class=<bool>`;
+ * fcfs*: `bits=<int>`, `wrap` / `saturate`, `window=<double>`,
+ * `r=<int>`, `priority`, `counting=always|matched|dual`;
+ * hybrid/ticket: `bits=<int>`; fixed/aap*: `priority`.
+ *
+ * @param spec The spec string.
+ * @return The factory; fatal error on unknown keys or options.
+ */
+ProtocolFactory protocolFromSpec(const std::string &spec);
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_PROTOCOLS_HH

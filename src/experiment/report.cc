@@ -1,0 +1,86 @@
+#include "experiment/report.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "experiment/table.hh"
+#include "sim/logging.hh"
+
+namespace busarb {
+
+std::string
+describeScenario(const ScenarioConfig &config)
+{
+    std::ostringstream os;
+    os << config.numAgents << " agents, total offered load "
+       << formatFixed(config.totalOfferedLoad(), 2);
+    if (!config.agents.empty()) {
+        // Report the CV when it is uniform across agents.
+        const double cv = config.agents.front().cv;
+        bool uniform = true;
+        for (const auto &a : config.agents)
+            uniform = uniform && a.cv == cv;
+        if (uniform)
+            os << " (cv " << formatFixed(cv, 2) << ")";
+        const int r = config.agents.front().maxOutstanding;
+        if (r > 1)
+            os << ", up to " << r << " outstanding/agent";
+    }
+    os << "; transaction " << config.bus.transactionTime
+       << ", arbitration ";
+    if (config.bus.settleTiming) {
+        os << "settle-timed ("
+           << (config.bus.settleMode == BusParams::SettleMode::kWorstCase
+                   ? "worst-case"
+                   : "dynamic")
+           << ", prop " << config.bus.propagationDelay << ")";
+    } else {
+        os << config.bus.arbitrationOverhead << " overlapped";
+    }
+    os << "; " << config.numBatches << " batches x " << config.batchSize;
+    return os.str();
+}
+
+void
+printSummary(const ScenarioResult &result, std::ostream &os)
+{
+    TextTable table({"measure", "value"});
+    table.addRow({"protocol", result.protocolName});
+    table.addRow({"throughput (bus utilization)",
+                  formatEstimate(result.throughput())});
+    table.addRow({"mean wait W", formatEstimate(result.meanWait())});
+    table.addRow({"stddev of W", formatEstimate(result.waitStddev())});
+    table.addRow(
+        {"t[N]/t[1] fairness ratio",
+         formatEstimate(result.throughputRatio(result.numAgents, 1))});
+    table.addRow({"retry-pass fraction",
+                  formatEstimate(result.retryPassFraction(), 4)});
+    table.print(os);
+}
+
+void
+printComparison(const std::vector<ScenarioResult> &results,
+                std::ostream &os)
+{
+    BUSARB_ASSERT(!results.empty(), "nothing to compare");
+    const int n = results.front().numAgents;
+    for (const auto &r : results) {
+        BUSARB_ASSERT(r.numAgents == n,
+                      "comparison across different agent counts");
+    }
+    TextTable table(
+        {"protocol", "util", "W", "sigma W", "t_N/t_1", "retries"});
+    for (const auto &r : results) {
+        table.addRow({
+            r.protocolName,
+            formatFixed(r.utilization().value, 3),
+            formatEstimate(r.meanWait()),
+            formatEstimate(r.waitStddev()),
+            formatEstimate(r.throughputRatio(n, 1)),
+            formatFixed(100.0 * r.retryPassFraction().value, 1) + "%",
+        });
+    }
+    table.print(os);
+}
+
+} // namespace busarb

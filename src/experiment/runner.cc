@@ -1,0 +1,367 @@
+#include "experiment/runner.hh"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "experiment/metrics.hh"
+#include "random/rng.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workload/closed_agent.hh"
+
+namespace busarb {
+
+namespace {
+
+/** Snapshot of all cumulative counters at a batch boundary. */
+struct Snapshot
+{
+    Tick now = 0;
+    std::uint64_t totalCompletions = 0;
+    double totalWaitSum = 0.0;
+    double totalWaitSqSum = 0.0;
+    Tick busyTicks = 0;
+    std::uint64_t passes = 0;
+    std::uint64_t retryPasses = 0;
+    std::vector<MetricsCollector::AgentSums> agents; // index 0 -> agent 1
+};
+
+Snapshot
+takeSnapshot(const EventQueue &queue, const Bus &bus,
+             const MetricsCollector &collector, int num_agents)
+{
+    Snapshot s;
+    s.now = queue.now();
+    s.totalCompletions = collector.totalCompletions();
+    s.totalWaitSum = collector.totalWaitSum();
+    s.totalWaitSqSum = collector.totalWaitSqSum();
+    s.busyTicks = bus.busyTicks();
+    s.passes = bus.arbitrationPasses();
+    s.retryPasses = bus.retryPasses();
+    s.agents.reserve(static_cast<std::size_t>(num_agents));
+    for (AgentId a = 1; a <= num_agents; ++a)
+        s.agents.push_back(collector.agent(a));
+    return s;
+}
+
+BatchStats
+batchFromDelta(const Snapshot &prev, const Snapshot &cur)
+{
+    BatchStats b;
+    b.duration = ticksToUnits(cur.now - prev.now);
+    BUSARB_ASSERT(b.duration > 0.0, "empty batch");
+    const auto n = cur.totalCompletions - prev.totalCompletions;
+    const double wait_sum = cur.totalWaitSum - prev.totalWaitSum;
+    const double wait_sq = cur.totalWaitSqSum - prev.totalWaitSqSum;
+    if (n > 0) {
+        b.waitMean = wait_sum / static_cast<double>(n);
+        const double var =
+            wait_sq / static_cast<double>(n) - b.waitMean * b.waitMean;
+        b.waitStddev = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    b.utilization =
+        static_cast<double>(cur.busyTicks - prev.busyTicks) /
+        static_cast<double>(cur.now - prev.now);
+    b.passes = cur.passes - prev.passes;
+    b.retryPasses = cur.retryPasses - prev.retryPasses;
+    const std::size_t num_agents = cur.agents.size();
+    b.completions.resize(num_agents);
+    b.productive.resize(num_agents);
+    b.cycle.resize(num_agents);
+    b.waitSum.resize(num_agents);
+    b.overlapSum.resize(num_agents);
+    for (std::size_t i = 0; i < num_agents; ++i) {
+        const auto &pa = prev.agents[i];
+        const auto &ca = cur.agents[i];
+        b.completions[i] = ca.completions - pa.completions;
+        const double think = ca.thinkSum - pa.thinkSum;
+        const double wait = ca.waitSum - pa.waitSum;
+        const double overlap = ca.overlapSum - pa.overlapSum;
+        b.waitSum[i] = wait;
+        b.overlapSum[i] = overlap;
+        b.productive[i] = think + overlap;
+        b.cycle[i] = think + wait;
+    }
+    return b;
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
+{
+    BUSARB_ASSERT(static_cast<int>(config.agents.size()) ==
+                  config.numAgents,
+                  "agent traits count (", config.agents.size(),
+                  ") != numAgents (", config.numAgents, ")");
+    BUSARB_ASSERT(config.numBatches >= 1, "need at least one batch");
+    BUSARB_ASSERT(config.batchSize >= 1, "batch size must be >= 1");
+
+    EventQueue queue;
+    std::unique_ptr<ArbitrationProtocol> protocol = factory();
+    BUSARB_ASSERT(protocol != nullptr, "protocol factory returned null");
+    const std::string protocol_name = protocol->name();
+    Bus bus(queue, std::move(protocol), config.numAgents, config.bus);
+    if (config.tracer != nullptr)
+        bus.setTracer(config.tracer);
+    MetricsCollector collector(config.numAgents, config.histBinWidth,
+                               config.histBins);
+
+    Rng base(config.seed);
+    std::vector<std::unique_ptr<ClosedAgent>> agents;
+    agents.reserve(static_cast<std::size_t>(config.numAgents));
+    for (AgentId a = 1; a <= config.numAgents; ++a) {
+        const AgentTraits &traits =
+            config.agents[static_cast<std::size_t>(a - 1)];
+        agents.push_back(std::make_unique<ClosedAgent>(
+            queue, bus, a, traits,
+            base.fork(static_cast<std::uint64_t>(a))));
+        agents.back()->setThinkSink(&collector);
+        collector.setOverlapLimit(a, traits.overlapLimit);
+    }
+
+    // Route service notifications to the collector first (so waits are
+    // recorded), then to the owning agent (which schedules the next
+    // request of its token).
+    struct Dispatcher : BusObserver
+    {
+        MetricsCollector *collector;
+        std::vector<std::unique_ptr<ClosedAgent>> *agents;
+
+        void
+        onServiceStart(const Request &req, Tick now) override
+        {
+            collector->onServiceStart(req, now);
+        }
+
+        void
+        onServiceEnd(const Request &req, Tick now) override
+        {
+            collector->onServiceEnd(req, now);
+            (*agents)[static_cast<std::size_t>(req.agent - 1)]
+                ->onServiceEnd(now);
+        }
+    };
+    Dispatcher dispatcher;
+    dispatcher.collector = &collector;
+    dispatcher.agents = &agents;
+    bus.setObserver(&dispatcher);
+
+    for (auto &agent : agents)
+        agent->start();
+
+    const auto run_until = [&](std::uint64_t target) {
+        while (collector.totalCompletions() < target) {
+            const bool progressed = queue.runOne();
+            BUSARB_ASSERT(progressed, "simulation deadlocked at tick ",
+                          queue.now());
+        }
+    };
+
+    run_until(config.warmup);
+    if (config.collectHistogram)
+        collector.enableHistogram();
+    if (config.collectPerAgentHistograms)
+        collector.enablePerAgentHistograms();
+
+    ScenarioResult result;
+    result.protocolName = protocol_name;
+    result.numAgents = config.numAgents;
+    result.confidence = config.confidence;
+    result.waitHistogram = Histogram(config.histBinWidth, config.histBins);
+
+    Snapshot prev =
+        takeSnapshot(queue, bus, collector, config.numAgents);
+    for (int b = 0; b < config.numBatches; ++b) {
+        run_until(config.warmup +
+                  (static_cast<std::uint64_t>(b) + 1) * config.batchSize);
+        const Snapshot cur =
+            takeSnapshot(queue, bus, collector, config.numAgents);
+        result.batches.push_back(batchFromDelta(prev, cur));
+        prev = cur;
+    }
+    result.waitHistogram = collector.histogram();
+    if (config.collectPerAgentHistograms) {
+        for (AgentId a = 1; a <= config.numAgents; ++a)
+            result.agentWaitHistograms.push_back(
+                collector.agentHistogram(a));
+    }
+    return result;
+}
+
+// ------------------------------------------------------- result helpers
+
+Estimate
+ScenarioResult::throughput() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches) {
+        std::uint64_t total = 0;
+        for (auto c : b.completions)
+            total += c;
+        bm.addBatch(static_cast<double>(total) / b.duration);
+    }
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::utilization() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches)
+        bm.addBatch(b.utilization);
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::agentThroughput(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents,
+                  "agent id out of range: ", agent);
+    BatchMeans bm;
+    for (const auto &b : batches) {
+        bm.addBatch(static_cast<double>(
+                        b.completions[static_cast<std::size_t>(agent - 1)]) /
+                    b.duration);
+    }
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::throughputRatio(AgentId numer, AgentId denom) const
+{
+    BUSARB_ASSERT(numer >= 1 && numer <= numAgents && denom >= 1 &&
+                  denom <= numAgents,
+                  "agent id out of range");
+    std::vector<double> num, den;
+    bool starved = false;
+    double num_total = 0.0;
+    double den_total = 0.0;
+    for (const auto &b : batches) {
+        num.push_back(static_cast<double>(
+            b.completions[static_cast<std::size_t>(numer - 1)]));
+        den.push_back(static_cast<double>(
+            b.completions[static_cast<std::size_t>(denom - 1)]));
+        num_total += num.back();
+        den_total += den.back();
+        if (den.back() == 0.0)
+            starved = true;
+    }
+    if (starved) {
+        Estimate e;
+        e.value = (den_total == 0.0)
+                      ? std::numeric_limits<double>::infinity()
+                      : num_total / den_total;
+        return e;
+    }
+    return ratioEstimate(num, den, confidence);
+}
+
+Estimate
+ScenarioResult::meanWait() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches)
+        bm.addBatch(b.waitMean);
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::agentMeanWait(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents,
+                  "agent id out of range: ", agent);
+    BatchMeans bm;
+    const auto idx = static_cast<std::size_t>(agent - 1);
+    for (const auto &b : batches) {
+        BUSARB_ASSERT(b.completions[idx] > 0,
+                      "agent ", agent, " completed nothing in a batch");
+        bm.addBatch(b.waitSum[idx] /
+                    static_cast<double>(b.completions[idx]));
+    }
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::waitStddev() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches)
+        bm.addBatch(b.waitStddev);
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::productivity() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches) {
+        double productive = 0.0;
+        double cycle = 0.0;
+        for (std::size_t i = 0; i < b.productive.size(); ++i) {
+            productive += b.productive[i];
+            cycle += b.cycle[i];
+        }
+        BUSARB_ASSERT(cycle > 0.0, "empty batch cycle time");
+        bm.addBatch(productive / cycle);
+    }
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::agentProductivity(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents,
+                  "agent id out of range: ", agent);
+    BatchMeans bm;
+    const auto idx = static_cast<std::size_t>(agent - 1);
+    for (const auto &b : batches) {
+        BUSARB_ASSERT(b.cycle[idx] > 0.0,
+                      "agent ", agent, " has no cycle time in a batch");
+        bm.addBatch(b.productive[idx] / b.cycle[idx]);
+    }
+    return bm.estimate(confidence);
+}
+
+Estimate
+ScenarioResult::residualWait() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches) {
+        double wait = 0.0;
+        double overlap = 0.0;
+        std::uint64_t n = 0;
+        for (std::size_t i = 0; i < b.waitSum.size(); ++i) {
+            wait += b.waitSum[i];
+            overlap += b.overlapSum[i];
+            n += b.completions[i];
+        }
+        BUSARB_ASSERT(n > 0, "batch without completions");
+        bm.addBatch((wait - overlap) / static_cast<double>(n));
+    }
+    return bm.estimate(confidence);
+}
+
+double
+ScenarioResult::waitPercentile(double p) const
+{
+    BUSARB_ASSERT(waitHistogram.count() > 0,
+                  "waitPercentile needs collectHistogram = true");
+    return waitHistogram.quantile(p);
+}
+
+Estimate
+ScenarioResult::retryPassFraction() const
+{
+    BatchMeans bm;
+    for (const auto &b : batches) {
+        bm.addBatch(b.passes == 0
+                        ? 0.0
+                        : static_cast<double>(b.retryPasses) /
+                              static_cast<double>(b.passes));
+    }
+    return bm.estimate(confidence);
+}
+
+} // namespace busarb

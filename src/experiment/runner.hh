@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The scenario runner: wires a protocol, a bus, closed-loop agents and a
+ * metrics collector together, runs warm-up plus a fixed number of
+ * batch-means batches, and returns per-batch measurements with
+ * confidence-interval helpers (Section 4.1 methodology).
+ */
+
+#ifndef BUSARB_EXPERIMENT_RUNNER_HH
+#define BUSARB_EXPERIMENT_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/protocol.hh"
+#include "stats/batch_means.hh"
+#include "stats/histogram.hh"
+#include "workload/scenario.hh"
+
+namespace busarb {
+
+/** Creates a fresh protocol instance for a run. */
+using ProtocolFactory =
+    std::function<std::unique_ptr<ArbitrationProtocol>()>;
+
+/** Measurements taken over one batch. */
+struct BatchStats
+{
+    /** Batch duration in transaction units. */
+    double duration = 0.0;
+
+    /** Completions per agent (index i is agent i+1). */
+    std::vector<std::uint64_t> completions;
+
+    /** Mean waiting time W over the batch. */
+    double waitMean = 0.0;
+
+    /** Population standard deviation of W over the batch. */
+    double waitStddev = 0.0;
+
+    /** Per-agent productive time (think + realized overlap) in batch. */
+    std::vector<double> productive;
+
+    /** Per-agent wall time spent per request cycle (think + W) in batch. */
+    std::vector<double> cycle;
+
+    /** Per-agent waiting-time sum (for residual-wait computations). */
+    std::vector<double> waitSum;
+
+    /** Per-agent realized overlap sum (min(V, W) per request). */
+    std::vector<double> overlapSum;
+
+    /** Bus utilization over the batch (busy fraction). */
+    double utilization = 0.0;
+
+    /** Arbitration passes and retry passes during the batch. */
+    std::uint64_t passes = 0;
+    std::uint64_t retryPasses = 0;
+};
+
+/** Results of one scenario run. */
+struct ScenarioResult
+{
+    std::string protocolName;
+    int numAgents = 0;
+    double confidence = 0.90;
+    std::vector<BatchStats> batches;
+
+    /** Waiting-time histogram over the whole measurement period. */
+    Histogram waitHistogram{0.25, 1200};
+
+    /**
+     * Per-agent waiting-time histograms (index i is agent i+1); empty
+     * unless ScenarioConfig::collectPerAgentHistograms was set.
+     */
+    std::vector<Histogram> agentWaitHistograms;
+
+    /** @return Total system throughput (requests per unit time). */
+    Estimate throughput() const;
+
+    /** @return Bus utilization (equals throughput when S = 1). */
+    Estimate utilization() const;
+
+    /** @return Throughput of one agent (requests per unit time). */
+    Estimate agentThroughput(AgentId agent) const;
+
+    /**
+     * Per-batch ratio of two agents' throughputs.
+     *
+     * If the denominator agent completed nothing in some batch (true
+     * starvation, e.g. under fixed priority), the per-batch ratio is
+     * undefined; the estimate falls back to the ratio of the agents'
+     * total completions (infinity if the denominator never completed),
+     * with a zero half-width.
+     *
+     * @return Ratio estimate.
+     */
+    Estimate throughputRatio(AgentId numer, AgentId denom) const;
+
+    /** @return Mean waiting time W. */
+    Estimate meanWait() const;
+
+    /** @return One agent's mean waiting time W. */
+    Estimate agentMeanWait(AgentId agent) const;
+
+    /** @return Standard deviation of the waiting time. */
+    Estimate waitStddev() const;
+
+    /**
+     * @return Aggregate productivity: productive time / wall time,
+     *         across all agents (Table 4.3).
+     */
+    Estimate productivity() const;
+
+    /**
+     * One agent's productivity: the fraction of its time spent
+     * computing (think time plus realized overlap) rather than waiting
+     * for the bus. For a multiprocessor this is the processor's
+     * relative execution speed (Section 1: bus share translates
+     * directly into process speed).
+     *
+     * @param agent The agent.
+     * @return Productivity estimate in [0, 1].
+     */
+    Estimate agentProductivity(AgentId agent) const;
+
+    /** @return Mean residual wait W - min(V, W) (Table 4.3). */
+    Estimate residualWait() const;
+
+    /** @return Fraction of arbitration passes that were retries. */
+    Estimate retryPassFraction() const;
+
+    /**
+     * Waiting-time percentile from the collected histogram.
+     *
+     * @param p Probability in [0, 1].
+     * @return Approximate p-quantile of W; requires
+     *         ScenarioConfig::collectHistogram.
+     */
+    double waitPercentile(double p) const;
+};
+
+/**
+ * Run one scenario under one protocol.
+ *
+ * @param config Scenario description.
+ * @param factory Creates the protocol instance.
+ * @return Per-batch measurements and estimate helpers.
+ */
+ScenarioResult runScenario(const ScenarioConfig &config,
+                           const ProtocolFactory &factory);
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_RUNNER_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * A minimal fixed-width text table, used by the benchmark harnesses to
+ * print paper-style result tables.
+ */
+
+#ifndef BUSARB_EXPERIMENT_TABLE_HH
+#define BUSARB_EXPERIMENT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/batch_means.hh"
+
+namespace busarb {
+
+/**
+ * Column-aligned ASCII table writer.
+ */
+class TextTable
+{
+  public:
+    /** @param headers Column headers, left to right. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table with a separator under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed decimals. */
+std::string formatFixed(double value, int decimals = 2);
+
+/** Format an estimate as "v ± hw". */
+std::string formatEstimate(const Estimate &e, int decimals = 2);
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_TABLE_HH

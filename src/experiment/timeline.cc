@@ -1,0 +1,66 @@
+#include "experiment/timeline.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+TimelineProbe::TimelineProbe(EventQueue &queue, Bus &bus, double window,
+                             std::size_t max_samples)
+    : queue_(queue), bus_(bus), windowTicks_(unitsToTicks(window)),
+      maxSamples_(max_samples)
+{
+    BUSARB_ASSERT(windowTicks_ > 0, "window must be positive");
+}
+
+void
+TimelineProbe::start()
+{
+    lastBusy_ = bus_.busyTicks();
+    lastCompleted_ = bus_.completedTransactions();
+    queue_.scheduleIn(windowTicks_, [this] { sample(); }, kPriStats);
+}
+
+void
+TimelineProbe::sample()
+{
+    TimelineSample s;
+    s.time = ticksToUnits(queue_.now());
+    s.outstanding = bus_.outstandingRequests();
+    const Tick busy = bus_.busyTicks();
+    // busyTicks is credited at tenure start for the whole transfer, so
+    // a window's utilization can momentarily exceed 1; clamp.
+    s.utilization = std::min(
+        1.0, static_cast<double>(busy - lastBusy_) /
+                 static_cast<double>(windowTicks_));
+    s.completed = bus_.completedTransactions() - lastCompleted_;
+    lastBusy_ = busy;
+    lastCompleted_ = bus_.completedTransactions();
+    samples_.push_back(s);
+    if (maxSamples_ != 0 && samples_.size() >= maxSamples_)
+        return;
+    queue_.scheduleIn(windowTicks_, [this] { sample(); }, kPriStats);
+}
+
+void
+TimelineProbe::writeCsv(std::ostream &os) const
+{
+    os << "time,outstanding,utilization,completed\n";
+    for (const auto &s : samples_) {
+        os << s.time << "," << s.outstanding << "," << s.utilization
+           << "," << s.completed << "\n";
+    }
+}
+
+std::uint64_t
+TimelineProbe::peakOutstanding() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &s : samples_)
+        peak = std::max(peak, s.outstanding);
+    return peak;
+}
+
+} // namespace busarb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Windowed time-series sampling of bus dynamics.
+ *
+ * Samples the bus at a fixed interval — outstanding requests (queue
+ * backlog) and per-window utilization — producing plot-ready series of
+ * how the system breathes over time (burst drainage, saturation
+ * on-sets), complementing the steady-state batch statistics.
+ */
+
+#ifndef BUSARB_EXPERIMENT_TIMELINE_HH
+#define BUSARB_EXPERIMENT_TIMELINE_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "sim/event_queue.hh"
+
+namespace busarb {
+
+/** One timeline sample. */
+struct TimelineSample
+{
+    /** End of the sampling window, in transaction units. */
+    double time = 0.0;
+
+    /** Requests outstanding at the sample instant. */
+    std::uint64_t outstanding = 0;
+
+    /** Bus utilization within the window. */
+    double utilization = 0.0;
+
+    /** Transactions completed within the window. */
+    std::uint64_t completed = 0;
+};
+
+/**
+ * Periodic sampler of a bus.
+ */
+class TimelineProbe
+{
+  public:
+    /**
+     * @param queue Simulation event queue.
+     * @param bus The bus to sample.
+     * @param window Sampling window, transaction units; must be > 0.
+     * @param max_samples Stop sampling after this many windows (caps
+     *        memory on long runs); 0 means unlimited.
+     */
+    TimelineProbe(EventQueue &queue, Bus &bus, double window,
+                  std::size_t max_samples = 0);
+
+    /** Begin sampling; the first window ends `window` from now. */
+    void start();
+
+    /** @return All samples taken so far. */
+    const std::vector<TimelineSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Write the series as CSV: time,outstanding,utilization,completed. */
+    void writeCsv(std::ostream &os) const;
+
+    /** @return Largest backlog observed at any sample instant. */
+    std::uint64_t peakOutstanding() const;
+
+  private:
+    EventQueue &queue_;
+    Bus &bus_;
+    Tick windowTicks_;
+    std::size_t maxSamples_;
+    std::vector<TimelineSample> samples_;
+    Tick lastBusy_ = 0;
+    std::uint64_t lastCompleted_ = 0;
+
+    void sample();
+};
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_TIMELINE_HH

@@ -1,0 +1,161 @@
+#include "random/distributions.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+// ---------------------------------------------------------------- constant
+
+DeterministicDistribution::DeterministicDistribution(double value)
+    : value_(value)
+{
+    BUSARB_ASSERT(value >= 0.0, "negative deterministic value: ", value);
+}
+
+double
+DeterministicDistribution::sample(Rng &rng) const
+{
+    (void)rng;
+    return value_;
+}
+
+std::string
+DeterministicDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "Deterministic(" << value_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+DeterministicDistribution::clone() const
+{
+    return std::make_unique<DeterministicDistribution>(value_);
+}
+
+// ------------------------------------------------------------- exponential
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean)
+{
+    BUSARB_ASSERT(mean > 0.0, "non-positive exponential mean: ", mean);
+}
+
+double
+ExponentialDistribution::sample(Rng &rng) const
+{
+    return -mean_ * std::log(rng.uniformPositive());
+}
+
+std::string
+ExponentialDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "Exponential(mean=" << mean_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+ExponentialDistribution::clone() const
+{
+    return std::make_unique<ExponentialDistribution>(mean_);
+}
+
+// ------------------------------------------------------------------ Erlang
+
+ErlangDistribution::ErlangDistribution(int stages, double mean)
+    : stages_(stages), mean_(mean)
+{
+    BUSARB_ASSERT(stages >= 1, "Erlang stage count must be >= 1, got ",
+                  stages);
+    BUSARB_ASSERT(mean > 0.0, "non-positive Erlang mean: ", mean);
+}
+
+double
+ErlangDistribution::sample(Rng &rng) const
+{
+    // Sum of k exponentials of mean mean_/k, via a product of uniforms to
+    // take a single log.
+    double product = 1.0;
+    for (int i = 0; i < stages_; ++i)
+        product *= rng.uniformPositive();
+    return -(mean_ / stages_) * std::log(product);
+}
+
+double
+ErlangDistribution::cv() const
+{
+    return 1.0 / std::sqrt(static_cast<double>(stages_));
+}
+
+std::string
+ErlangDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "Erlang(k=" << stages_ << ", mean=" << mean_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+ErlangDistribution::clone() const
+{
+    return std::make_unique<ErlangDistribution>(stages_, mean_);
+}
+
+// --------------------------------------------------------- hyperexponential
+
+HyperExponentialDistribution::HyperExponentialDistribution(double mean,
+                                                           double cv)
+    : mean_(mean), cv_(cv)
+{
+    BUSARB_ASSERT(mean > 0.0, "non-positive mean: ", mean);
+    BUSARB_ASSERT(cv > 1.0, "hyperexponential requires CV > 1, got ", cv);
+    // Balanced-means two-phase H2: p1/rate1 == p2/rate2.
+    const double c2 = cv * cv;
+    p1_ = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+    rate1_ = 2.0 * p1_ / mean;
+    rate2_ = 2.0 * (1.0 - p1_) / mean;
+}
+
+double
+HyperExponentialDistribution::sample(Rng &rng) const
+{
+    const double rate = (rng.uniform() < p1_) ? rate1_ : rate2_;
+    return -std::log(rng.uniformPositive()) / rate;
+}
+
+std::string
+HyperExponentialDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "HyperExponential(mean=" << mean_ << ", cv=" << cv_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+HyperExponentialDistribution::clone() const
+{
+    return std::make_unique<HyperExponentialDistribution>(mean_, cv_);
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<Distribution>
+makeDistributionByCv(double mean, double cv)
+{
+    BUSARB_ASSERT(mean >= 0.0, "negative mean: ", mean);
+    BUSARB_ASSERT(cv >= 0.0, "negative CV: ", cv);
+    if (cv == 0.0 || mean == 0.0)
+        return std::make_unique<DeterministicDistribution>(mean);
+    if (cv == 1.0)
+        return std::make_unique<ExponentialDistribution>(mean);
+    if (cv < 1.0) {
+        const int k = static_cast<int>(std::lround(1.0 / (cv * cv)));
+        return std::make_unique<ErlangDistribution>(k < 1 ? 1 : k, mean);
+    }
+    return std::make_unique<HyperExponentialDistribution>(mean, cv);
+}
+
+} // namespace busarb

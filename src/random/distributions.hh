@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Inter-request time distributions used in the paper's experiments.
+ *
+ * Section 4.1: inter-request times are specified by their mean and
+ * coefficient of variation (CV). CV = 0 is deterministic, CV = 1 is the
+ * exponential distribution, and 0 < CV < 1 uses the Erlang distribution
+ * with the specified mean (stage count k chosen so 1/sqrt(k) approximates
+ * the requested CV).
+ */
+
+#ifndef BUSARB_RANDOM_DISTRIBUTIONS_HH
+#define BUSARB_RANDOM_DISTRIBUTIONS_HH
+
+#include <memory>
+#include <string>
+
+#include "random/rng.hh"
+
+namespace busarb {
+
+/**
+ * A non-negative continuous random variable, in bus-transaction units.
+ */
+class Distribution
+{
+  public:
+    virtual ~Distribution() = default;
+
+    /**
+     * Draw one sample.
+     *
+     * @param rng Generator supplying the randomness.
+     * @return A non-negative duration in transaction-time units.
+     */
+    virtual double sample(Rng &rng) const = 0;
+
+    /** @return The distribution's mean. */
+    virtual double mean() const = 0;
+
+    /** @return The distribution's coefficient of variation. */
+    virtual double cv() const = 0;
+
+    /** @return A short human-readable description. */
+    virtual std::string describe() const = 0;
+
+    /** @return An independent copy. */
+    virtual std::unique_ptr<Distribution> clone() const = 0;
+};
+
+/** Point mass at `mean` (CV = 0). */
+class DeterministicDistribution : public Distribution
+{
+  public:
+    /** @param value The constant value; must be >= 0. */
+    explicit DeterministicDistribution(double value);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return value_; }
+    double cv() const override { return 0.0; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double value_;
+};
+
+/** Exponential distribution (CV = 1). */
+class ExponentialDistribution : public Distribution
+{
+  public:
+    /** @param mean The mean; must be > 0. */
+    explicit ExponentialDistribution(double mean);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double cv() const override { return 1.0; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mean_;
+};
+
+/**
+ * Erlang-k distribution: the sum of k iid exponentials (CV = 1/sqrt(k)).
+ */
+class ErlangDistribution : public Distribution
+{
+  public:
+    /**
+     * @param stages Number of exponential stages k; must be >= 1.
+     * @param mean The mean of the sum; must be > 0.
+     */
+    ErlangDistribution(int stages, double mean);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double cv() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return The stage count k. */
+    int stages() const { return stages_; }
+
+  private:
+    int stages_;
+    double mean_;
+};
+
+/**
+ * Two-branch hyperexponential distribution with balanced means (CV > 1).
+ *
+ * Not used by the paper's experiments (its CV range is [0, 1]) but provided
+ * so users can explore burstier workloads.
+ */
+class HyperExponentialDistribution : public Distribution
+{
+  public:
+    /**
+     * @param mean The mean; must be > 0.
+     * @param cv Coefficient of variation; must be > 1.
+     */
+    HyperExponentialDistribution(double mean, double cv);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double cv() const override { return cv_; }
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+  private:
+    double mean_;
+    double cv_;
+    double p1_; // probability of branch 1
+    double rate1_;
+    double rate2_;
+};
+
+/**
+ * Build the distribution the paper prescribes for a given mean and CV.
+ *
+ * CV == 0 -> deterministic; CV == 1 -> exponential; 0 < CV < 1 -> Erlang
+ * with k = round(1 / CV^2) stages (so the realized CV is the closest
+ * achievable 1/sqrt(k)); CV > 1 -> hyperexponential (extension).
+ *
+ * @param mean Mean inter-request time (transaction units); must be >= 0.
+ * @param cv Requested coefficient of variation; must be >= 0.
+ * @return A newly allocated distribution.
+ */
+std::unique_ptr<Distribution> makeDistributionByCv(double mean, double cv);
+
+} // namespace busarb
+
+#endif // BUSARB_RANDOM_DISTRIBUTIONS_HH

@@ -1,0 +1,93 @@
+#include "random/rng.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+namespace {
+
+/** splitmix64 step, used only for state initialization. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : state_)
+        word = splitmix64(x);
+    // An all-zero state would be a fixed point; splitmix64 cannot produce
+    // four zero outputs in a row, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 1;
+}
+
+Rng::result_type
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformPositive()
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u == 0.0);
+    return u;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    BUSARB_ASSERT(bound > 0, "Rng::below requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+Rng
+Rng::fork(std::uint64_t stream) const
+{
+    // Mix the base seed with the stream index through splitmix64 twice to
+    // decorrelate neighbouring streams.
+    std::uint64_t x = seed_ ^ (0xd1342543de82ef95ULL * (stream + 1));
+    const std::uint64_t mixed = splitmix64(x) ^ splitmix64(x);
+    return Rng(mixed);
+}
+
+} // namespace busarb

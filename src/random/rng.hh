@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pseudo-random number generation for the simulator.
+ *
+ * A self-contained xoshiro256++ engine seeded through splitmix64. We avoid
+ * std::mt19937 so that streams are identical across standard libraries,
+ * which keeps the regression tests' expected values portable.
+ */
+
+#ifndef BUSARB_RANDOM_RNG_HH
+#define BUSARB_RANDOM_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace busarb {
+
+/**
+ * xoshiro256++ pseudo-random generator.
+ *
+ * Satisfies the essentials of UniformRandomBitGenerator, and provides the
+ * floating-point helpers the distribution classes need.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /**
+     * Construct from a 64-bit seed.
+     *
+     * The full 256-bit state is expanded from the seed with splitmix64,
+     * as recommended by the xoshiro authors.
+     *
+     * @param seed Any value, including 0.
+     */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return The next 64 uniformly distributed bits. */
+    result_type next();
+
+    /** UniformRandomBitGenerator interface. */
+    result_type operator()() { return next(); }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** @return A double uniform on [0, 1). */
+    double uniform();
+
+    /** @return A double uniform on [0, 1), strictly greater than 0. */
+    double uniformPositive();
+
+    /**
+     * @param bound Exclusive upper bound, must be > 0.
+     * @return An integer uniform on [0, bound).
+     */
+    std::uint64_t below(std::uint64_t bound);
+
+    /**
+     * Derive an independent generator for a sub-stream.
+     *
+     * Used to give every agent its own stream so adding an agent does not
+     * perturb the samples drawn by the others.
+     *
+     * @param stream Sub-stream index.
+     * @return A generator seeded from this one's seed and the index.
+     */
+    Rng fork(std::uint64_t stream) const;
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    std::uint64_t seed_;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_RANDOM_RNG_HH

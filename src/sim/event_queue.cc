@@ -1,0 +1,89 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    BUSARB_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                  " now=", now_);
+    BUSARB_ASSERT(cb != nullptr, "null event callback");
+    const EventId id = nextId_++;
+    heap_.push(Entry{when, priority, id, std::move(cb)});
+    liveIds_.insert(id);
+    ++liveCount_;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+{
+    BUSARB_ASSERT(delay >= 0, "negative delay: ", delay);
+    return schedule(now_ + delay, std::move(cb), priority);
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    // liveIds_ tracks exactly the entries still in the heap and not yet
+    // cancelled, so the tombstone set can never leak.
+    if (id == 0 || !liveIds_.count(id))
+        return false;
+    cancelled_.insert(id);
+    liveIds_.erase(id);
+    BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
+    --liveCount_;
+    return true;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
+        cancelled_.erase(heap_.top().id);
+        heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipCancelled();
+    return heap_.empty() ? kMaxTick : heap_.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    skipCancelled();
+    if (heap_.empty())
+        return false;
+    Entry top = heap_.top();
+    heap_.pop();
+    liveIds_.erase(top.id);
+    BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
+    --liveCount_;
+    BUSARB_ASSERT(top.when >= now_, "event queue went backwards");
+    now_ = top.when;
+    ++numExecuted_;
+    top.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::run(Tick until)
+{
+    std::size_t executed = 0;
+    while (nextTick() <= until) {
+        if (!runOne())
+            break;
+        ++executed;
+    }
+    return executed;
+}
+
+} // namespace busarb

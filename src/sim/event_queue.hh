@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A deterministic discrete-event queue.
+ *
+ * Events are callbacks scheduled at an absolute tick with a small integer
+ * priority. Ordering is total and deterministic: (tick, priority, insertion
+ * sequence). Determinism matters here because several of the paper's
+ * experiments (Table 4.5's "just miss" scenario) depend on exact tie
+ * behaviour between simultaneous events.
+ */
+
+#ifndef BUSARB_SIM_EVENT_QUEUE_HH
+#define BUSARB_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/**
+ * Priorities for simultaneous events. Lower runs first.
+ *
+ * The ordering encodes the causal structure of a bus cycle boundary: a
+ * transaction completes, then an arbitration that was due resolves, and
+ * only then do newly generated requests become visible, so a request
+ * issued exactly at a cycle boundary cannot join an arbitration that
+ * logically started earlier.
+ */
+enum EventPriority : int {
+    kPriTransactionEnd = 0,
+    kPriArbitration = 10,
+    kPriRequestArrival = 20,
+    // Pass starts run after every same-tick arrival so that requests
+    // issued at the same instant all enter the arbitration that begins
+    // at that instant.
+    kPriBeginPass = 30,
+    kPriDefault = 50,
+    kPriStats = 90,
+};
+
+/**
+ * A min-ordered queue of timed callbacks.
+ *
+ * Not thread-safe; the whole simulator is single-threaded by design.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle for descheduling. 0 is never a valid id. */
+    using EventId = std::uint64_t;
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     * @param priority Tie-break among same-tick events (lower first).
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Tick when, Callback cb, int priority = kPriDefault);
+
+    /**
+     * Schedule a callback at a delay relative to now().
+     *
+     * @param delay Non-negative tick delay.
+     * @param cb Callback to invoke.
+     * @param priority Tie-break among same-tick events (lower first).
+     * @return Handle usable with deschedule().
+     */
+    EventId scheduleIn(Tick delay, Callback cb, int priority = kPriDefault);
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @param id Handle returned by schedule().
+     * @retval true The event was pending and is now cancelled.
+     * @retval false The event already ran, was cancelled, or never existed.
+     */
+    bool deschedule(EventId id);
+
+    /** @return true if no live events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** @return Current simulated time in ticks. */
+    Tick now() const { return now_; }
+
+    /** @return Tick of the earliest live event; kMaxTick if empty. */
+    Tick nextTick() const;
+
+    /**
+     * Execute the single earliest live event.
+     *
+     * @retval true An event was executed.
+     * @retval false The queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or the next event is beyond
+     * `until`.
+     *
+     * Events scheduled exactly at `until` are executed. Time is left at
+     * the tick of the last executed event (or unchanged if none ran).
+     *
+     * @param until Inclusive horizon in ticks.
+     * @return Number of events executed by this call.
+     */
+    std::size_t run(Tick until = kMaxTick);
+
+    /** @return Total events executed over the queue's lifetime. */
+    std::uint64_t numExecuted() const { return numExecuted_; }
+
+    /** @return Number of live (scheduled, not cancelled) events. */
+    std::size_t numPending() const { return liveCount_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        EventId id; // doubles as insertion sequence
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.id > b.id;
+        }
+    };
+
+    // mutable: nextTick() lazily pops cancelled entries but is logically
+    // const.
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> liveIds_;
+    Tick now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveCount_ = 0;
+    std::uint64_t numExecuted_ = 0;
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void skipCancelled() const;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,43 @@
+#include "stats/autocorrelation.hh"
+
+#include <cmath>
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+double
+autocorrelation(const std::vector<double> &xs, int k)
+{
+    BUSARB_ASSERT(k >= 1, "lag must be >= 1, got ", k);
+    const std::size_t n = xs.size();
+    const auto lag = static_cast<std::size_t>(k);
+    if (n < lag + 2)
+        return 0.0;
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(n);
+    double denom = 0.0;
+    for (double x : xs)
+        denom += (x - mean) * (x - mean);
+    if (denom == 0.0)
+        return 0.0; // constant series
+    double numer = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i)
+        numer += (xs[i] - mean) * (xs[i + lag] - mean);
+    return numer / denom;
+}
+
+BatchDiagnostics
+diagnoseBatches(const std::vector<double> &batch_means, double threshold)
+{
+    BUSARB_ASSERT(threshold > 0.0, "threshold must be positive");
+    BatchDiagnostics d;
+    d.lag1 = autocorrelation(batch_means, 1);
+    d.adequate = std::abs(d.lag1) <= threshold;
+    return d;
+}
+
+} // namespace busarb

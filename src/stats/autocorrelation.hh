@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Batch-means adequacy diagnostics.
+ *
+ * The batch-means method (Lavenberg) relies on batches long enough that
+ * successive batch means are approximately uncorrelated; otherwise the
+ * confidence intervals are too narrow. The standard check is the lag-1
+ * autocorrelation of the batch means.
+ */
+
+#ifndef BUSARB_STATS_AUTOCORRELATION_HH
+#define BUSARB_STATS_AUTOCORRELATION_HH
+
+#include <vector>
+
+namespace busarb {
+
+/**
+ * Lag-k sample autocorrelation.
+ *
+ * @param xs The series; needs at least k + 2 points.
+ * @param k Lag, >= 1.
+ * @return r_k in [-1, 1]; 0 when the series is too short or constant.
+ */
+double autocorrelation(const std::vector<double> &xs, int k = 1);
+
+/** Result of a batch-independence diagnosis. */
+struct BatchDiagnostics
+{
+    /** Lag-1 autocorrelation of the batch means. */
+    double lag1 = 0.0;
+
+    /** True when |lag1| is below the threshold. */
+    bool adequate = true;
+};
+
+/**
+ * Diagnose whether a batch-means series is adequate for interval
+ * estimation.
+ *
+ * @param batch_means Per-batch values of the output measure.
+ * @param threshold |lag-1| limit; 0.3 is a common rule of thumb for
+ *        ~10 batches (the estimator itself is noisy at that length).
+ * @return Diagnostics.
+ */
+BatchDiagnostics diagnoseBatches(const std::vector<double> &batch_means,
+                                 double threshold = 0.3);
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_AUTOCORRELATION_HH

@@ -1,0 +1,71 @@
+#include "stats/batch_means.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/student_t.hh"
+#include "stats/welford.hh"
+
+namespace busarb {
+
+std::string
+Estimate::str(int decimals) const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value << " ± "
+       << halfWidth;
+    return os.str();
+}
+
+void
+BatchMeans::addBatch(double batch_value)
+{
+    batches_.push_back(batch_value);
+}
+
+double
+BatchMeans::mean() const
+{
+    if (batches_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : batches_)
+        s += v;
+    return s / static_cast<double>(batches_.size());
+}
+
+Estimate
+BatchMeans::estimate(double confidence) const
+{
+    Estimate e;
+    e.value = mean();
+    const std::size_t n = batches_.size();
+    if (n < 2)
+        return e;
+    RunningStats rs;
+    for (double v : batches_)
+        rs.add(v);
+    const double t = studentTCritical(static_cast<int>(n) - 1, confidence);
+    e.halfWidth = t * rs.stddev() / std::sqrt(static_cast<double>(n));
+    return e;
+}
+
+Estimate
+ratioEstimate(const std::vector<double> &numer,
+              const std::vector<double> &denom, double confidence)
+{
+    BUSARB_ASSERT(numer.size() == denom.size(),
+                  "ratioEstimate: size mismatch ", numer.size(), " vs ",
+                  denom.size());
+    BatchMeans ratios;
+    for (std::size_t i = 0; i < numer.size(); ++i) {
+        BUSARB_ASSERT(denom[i] != 0.0, "ratioEstimate: zero denominator in "
+                      "batch ", i);
+        ratios.addBatch(numer[i] / denom[i]);
+    }
+    return ratios.estimate(confidence);
+}
+
+} // namespace busarb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Batch-means confidence-interval estimation (Lavenberg, "Computer
+ * Performance Modeling Handbook").
+ *
+ * Section 4.1 of the paper: "All of our simulations were run for 10
+ * batches, with 8000 sample outputs in a batch. We have computed 90%
+ * confidence intervals, which are generally within 5% of the reported
+ * measures."
+ */
+
+#ifndef BUSARB_STATS_BATCH_MEANS_HH
+#define BUSARB_STATS_BATCH_MEANS_HH
+
+#include <string>
+#include <vector>
+
+namespace busarb {
+
+/**
+ * A point estimate with a symmetric confidence half-width.
+ */
+struct Estimate
+{
+    double value = 0.0;
+    double halfWidth = 0.0;
+
+    /** @return "v ± hw" with the requested number of decimals. */
+    std::string str(int decimals = 2) const;
+
+    /** @return Lower edge of the interval. */
+    double lo() const { return value - halfWidth; }
+
+    /** @return Upper edge of the interval. */
+    double hi() const { return value + halfWidth; }
+};
+
+/**
+ * Accumulates one scalar observation per batch and produces a mean with a
+ * Student-t confidence interval across batches.
+ */
+class BatchMeans
+{
+  public:
+    BatchMeans() = default;
+
+    /** Record the value of the output measure for one completed batch. */
+    void addBatch(double batch_value);
+
+    /** @return Number of batches recorded. */
+    std::size_t numBatches() const { return batches_.size(); }
+
+    /** @return The recorded per-batch values. */
+    const std::vector<double> &batches() const { return batches_; }
+
+    /** @return Grand mean across batches; 0 if no batches. */
+    double mean() const;
+
+    /**
+     * Confidence interval across batch means.
+     *
+     * @param confidence Two-sided level (0.90, 0.95 or 0.99).
+     * @return Estimate{grand mean, t * s / sqrt(n)}; half-width 0 when
+     *         fewer than two batches exist.
+     */
+    Estimate estimate(double confidence = 0.90) const;
+
+  private:
+    std::vector<double> batches_;
+};
+
+/**
+ * Estimate for the ratio of two per-batch measures.
+ *
+ * Forms the per-batch ratio a_i / b_i and applies batch means to the
+ * ratios. This is how the paper's throughput-ratio columns (Tables 4.1,
+ * 4.4, 4.5) are computed, keeping numerator and denominator correlated
+ * within each batch.
+ *
+ * @param numer Per-batch numerator values.
+ * @param denom Per-batch denominator values (each must be non-zero).
+ * @param confidence Two-sided level.
+ * @return Ratio estimate with confidence half-width.
+ */
+Estimate ratioEstimate(const std::vector<double> &numer,
+                       const std::vector<double> &denom,
+                       double confidence = 0.90);
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_BATCH_MEANS_HH

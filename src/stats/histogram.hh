@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-bin-width histogram with empirical CDF queries.
+ *
+ * Used for Figure 4.1 (CDF of the bus waiting time) and for choosing the
+ * execution-overlap values in Table 4.3 ("the minimum integer value at
+ * which the CDF for RR is less than the CDF for FCFS").
+ */
+
+#ifndef BUSARB_STATS_HISTOGRAM_HH
+#define BUSARB_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace busarb {
+
+/**
+ * Histogram over [0, +inf) with uniform bins; values beyond the last bin
+ * accumulate in an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bin_width Width of each bin; must be > 0.
+     * @param num_bins Number of regular bins; must be >= 1.
+     */
+    Histogram(double bin_width, std::size_t num_bins);
+
+    /** Add one non-negative observation (negatives clamp to bin 0). */
+    void add(double x);
+
+    /** Remove all observations. */
+    void clear();
+
+    /** @return Total number of observations. */
+    std::uint64_t count() const { return total_; }
+
+    /** @return Observations recorded beyond the last bin. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return The configured bin width. */
+    double binWidth() const { return binWidth_; }
+
+    /** @return Number of regular bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** @return Raw count in bin `i`. */
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+
+    /**
+     * Empirical cumulative distribution function.
+     *
+     * @param x Query point.
+     * @return Fraction of observations <= x (bin-resolution approximation);
+     *         0 if the histogram is empty.
+     */
+    double cdf(double x) const;
+
+    /**
+     * Approximate quantile by inverse CDF over the bins.
+     *
+     * @param p Probability in [0, 1].
+     * @return Upper edge of the first bin where the CDF reaches p; returns
+     *         the overflow edge if p exceeds the in-range mass.
+     */
+    double quantile(double p) const;
+
+    /** Mean of the recorded observations (bin midpoints, overflow at edge). */
+    double approximateMean() const;
+
+    /**
+     * Approximate E[min(X, v)] from the bins.
+     *
+     * Used by the Table 4.3 harness: the expected execution overlap
+     * realized per request when up to `v` units of useful work can be
+     * overlapped with a waiting time X. Bin mass is taken at the bin
+     * midpoint; overflow mass contributes min(v, overflow edge) = v for
+     * any v below the overflow edge.
+     *
+     * @param v Overlap limit, >= 0.
+     * @return Approximation of E[min(X, v)].
+     */
+    double expectedMin(double v) const;
+
+    /**
+     * Approximate E[max(X - v, 0)] from the bins: the mean residual
+     * waiting time after up to `v` units have been overlapped with
+     * useful work. Complements expectedMin: expectedMin(v) +
+     * expectedExcess(v) equals the binned mean.
+     *
+     * @param v Overlap limit, >= 0.
+     * @return Approximation of E[max(X - v, 0)], never negative.
+     */
+    double expectedExcess(double v) const;
+
+  private:
+    double binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0; // exact sum of observations, for approximateMean
+};
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_HISTOGRAM_HH

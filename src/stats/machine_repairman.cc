@@ -1,0 +1,47 @@
+#include "stats/machine_repairman.hh"
+
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+MachineRepairmanResult
+machineRepairman(int num_agents, double think_mean, double service_mean)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    BUSARB_ASSERT(think_mean > 0.0, "think time must be positive");
+    BUSARB_ASSERT(service_mean > 0.0, "service time must be positive");
+
+    // Birth-death chain on j = number of requests at the server:
+    //   p_j = p_0 * N! / (N-j)! * (S/Z)^j.
+    // Build the unnormalized terms iteratively for stability.
+    const double rho = service_mean / think_mean;
+    const int n = num_agents;
+    std::vector<double> terms(static_cast<std::size_t>(n) + 1);
+    terms[0] = 1.0;
+    for (int j = 1; j <= n; ++j) {
+        terms[static_cast<std::size_t>(j)] =
+            terms[static_cast<std::size_t>(j - 1)] *
+            static_cast<double>(n - j + 1) * rho;
+    }
+    double norm = 0.0;
+    for (double t : terms)
+        norm += t;
+
+    double p0 = terms[0] / norm;
+    double mean_at_server = 0.0;
+    for (int j = 0; j <= n; ++j) {
+        mean_at_server += j * terms[static_cast<std::size_t>(j)] / norm;
+    }
+
+    MachineRepairmanResult result;
+    result.utilization = 1.0 - p0;
+    result.throughput = result.utilization / service_mean;
+    result.meanAtServer = mean_at_server;
+    // Little's law on the server subsystem.
+    result.meanResponse = mean_at_server / result.throughput;
+    return result;
+}
+
+} // namespace busarb

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Exact machine-repairman (M/M/1//N) queueing model.
+ *
+ * The paper's simulated system is a closed single-server queue: N
+ * agents thinking, then queueing for one bus. The classical
+ * machine-repairman model with exponential think and exponential
+ * service has an exact solution, which this module provides as an
+ * analytic cross-check: with deterministic (CV = 0) service the
+ * simulated waits fall below the model's, but utilization, throughput
+ * trends, and the saturated asymptote R -> N*S - Z coincide.
+ */
+
+#ifndef BUSARB_STATS_MACHINE_REPAIRMAN_HH
+#define BUSARB_STATS_MACHINE_REPAIRMAN_HH
+
+namespace busarb {
+
+/** Exact steady-state measures of the M/M/1//N queue. */
+struct MachineRepairmanResult
+{
+    /** Server (bus) utilization. */
+    double utilization = 0.0;
+
+    /** Throughput, requests per unit time. */
+    double throughput = 0.0;
+
+    /** Mean response time (queueing + service). */
+    double meanResponse = 0.0;
+
+    /** Mean number of requests at the server (queued + in service). */
+    double meanAtServer = 0.0;
+};
+
+/**
+ * Solve the machine-repairman model.
+ *
+ * @param num_agents Number of sources N >= 1.
+ * @param think_mean Mean think time Z > 0 (exponential).
+ * @param service_mean Mean service time S > 0 (exponential).
+ * @return Exact steady-state measures.
+ */
+MachineRepairmanResult machineRepairman(int num_agents, double think_mean,
+                                        double service_mean);
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_MACHINE_REPAIRMAN_HH

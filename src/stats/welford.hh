@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Numerically stable single-pass mean/variance accumulation (Welford).
+ */
+
+#ifndef BUSARB_STATS_WELFORD_HH
+#define BUSARB_STATS_WELFORD_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace busarb {
+
+/**
+ * Streaming mean / variance / extrema of a sequence of doubles.
+ */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+    /** Discard all observations. */
+    void clear();
+
+    /** @return Number of observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return Sample mean; 0 if empty. */
+    double mean() const { return mean_; }
+
+    /** @return Population variance (divide by n); 0 if n < 1. */
+    double variancePopulation() const;
+
+    /** @return Sample variance (divide by n-1); 0 if n < 2. */
+    double varianceSample() const;
+
+    /** @return sqrt of the sample variance. */
+    double stddev() const;
+
+    /** @return Smallest observation; +inf if empty. */
+    double min() const { return min_; }
+
+    /** @return Largest observation; -inf if empty. */
+    double max() const { return max_; }
+
+    /** @return Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_WELFORD_HH

@@ -1,0 +1,27 @@
+#include "workload/agent_traits.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+double
+interrequestForLoad(double offered_load, double transaction_time)
+{
+    BUSARB_ASSERT(offered_load > 0.0 && offered_load < 1.0,
+                  "offered load must be in (0, 1), got ", offered_load);
+    BUSARB_ASSERT(transaction_time > 0.0,
+                  "transaction time must be positive");
+    return transaction_time * (1.0 - offered_load) / offered_load;
+}
+
+double
+loadForInterrequest(double mean_interrequest, double transaction_time)
+{
+    BUSARB_ASSERT(mean_interrequest >= 0.0,
+                  "mean inter-request time must be >= 0");
+    BUSARB_ASSERT(transaction_time > 0.0,
+                  "transaction time must be positive");
+    return transaction_time / (transaction_time + mean_interrequest);
+}
+
+} // namespace busarb

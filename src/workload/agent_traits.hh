@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-agent workload parameters.
+ *
+ * Section 4.1: "The offered load of an individual agent is defined as its
+ * bus transaction time divided by the sum of its bus transaction time and
+ * mean interrequest time." Agents are closed sources: after a request
+ * completes, the agent computes (thinks) for an inter-request time drawn
+ * from its distribution, then issues the next request.
+ */
+
+#ifndef BUSARB_WORKLOAD_AGENT_TRAITS_HH
+#define BUSARB_WORKLOAD_AGENT_TRAITS_HH
+
+#include <cstdint>
+
+namespace busarb {
+
+/** Workload description of one agent. */
+struct AgentTraits
+{
+    /** Mean inter-request (think) time, transaction units. */
+    double meanInterrequest = 1.0;
+
+    /** Coefficient of variation of the inter-request time. */
+    double cv = 1.0;
+
+    /** Simultaneously outstanding requests (FCFS r > 1 extension). */
+    int maxOutstanding = 1;
+
+    /** Fraction of requests issued as priority requests. */
+    double priorityFraction = 0.0;
+
+    /**
+     * Execution-overlap limit V for the Table 4.3 experiment: the amount
+     * of useful "extra" work the agent can overlap with each bus waiting
+     * time (the realized overlap is min(V, waiting time)). 0 disables.
+     */
+    double overlapLimit = 0.0;
+
+    /**
+     * Failure injection: the agent stops issuing requests after this
+     * many (models a device dropping off the bus mid-run); 0 means
+     * never. In-flight requests still complete normally.
+     */
+    std::uint64_t stopAfterRequests = 0;
+};
+
+/**
+ * Mean inter-request time for a target offered load.
+ *
+ * @param offered_load Agent's offered load, in (0, 1).
+ * @param transaction_time Bus transaction time S (default 1 unit).
+ * @return Mean think time T with load == S / (S + T).
+ */
+double interrequestForLoad(double offered_load,
+                           double transaction_time = 1.0);
+
+/**
+ * Offered load from a mean inter-request time.
+ *
+ * @param mean_interrequest Mean think time T.
+ * @param transaction_time Bus transaction time S (default 1 unit).
+ * @return S / (S + T).
+ */
+double loadForInterrequest(double mean_interrequest,
+                           double transaction_time = 1.0);
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_AGENT_TRAITS_HH

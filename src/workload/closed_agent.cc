@@ -1,0 +1,69 @@
+#include "workload/closed_agent.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+ClosedAgent::ClosedAgent(EventQueue &queue, Bus &bus, AgentId id,
+                         const AgentTraits &traits, Rng rng)
+    : ClosedAgent(queue, bus, id, traits, std::move(rng),
+                  makeDistributionByCv(traits.meanInterrequest,
+                                       traits.cv))
+{
+}
+
+ClosedAgent::ClosedAgent(EventQueue &queue, Bus &bus, AgentId id,
+                         const AgentTraits &traits, Rng rng,
+                         std::unique_ptr<Distribution> think)
+    : queue_(queue), bus_(bus), id_(id), traits_(traits),
+      rng_(std::move(rng)), think_(std::move(think))
+{
+    BUSARB_ASSERT(think_ != nullptr, "agent needs a think process");
+    BUSARB_ASSERT(traits.maxOutstanding >= 1,
+                  "maxOutstanding must be >= 1, got ",
+                  traits.maxOutstanding);
+    BUSARB_ASSERT(traits.priorityFraction >= 0.0 &&
+                  traits.priorityFraction <= 1.0,
+                  "priorityFraction must be in [0, 1]");
+}
+
+void
+ClosedAgent::start()
+{
+    for (int i = 0; i < traits_.maxOutstanding; ++i)
+        scheduleNextRequest();
+}
+
+void
+ClosedAgent::scheduleNextRequest()
+{
+    const double think = think_->sample(rng_);
+    if (sink_ != nullptr)
+        sink_->recordThink(id_, think);
+    queue_.scheduleIn(unitsToTicks(think), [this] { issueRequest(); },
+                      kPriRequestArrival);
+}
+
+void
+ClosedAgent::issueRequest()
+{
+    if (traits_.stopAfterRequests != 0 &&
+        issued_ >= traits_.stopAfterRequests) {
+        return; // the device has dropped off the bus
+    }
+    const bool priority = traits_.priorityFraction > 0.0 &&
+                          rng_.uniform() < traits_.priorityFraction;
+    ++issued_;
+    bus_.postRequest(id_, priority);
+}
+
+void
+ClosedAgent::onServiceEnd(Tick now)
+{
+    (void)now;
+    scheduleNextRequest();
+}
+
+} // namespace busarb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A closed-loop request source for one bus agent.
+ *
+ * Each of the agent's `maxOutstanding` tokens cycles through
+ * think -> request -> wait -> service; the think (inter-request) time is
+ * drawn from the agent's distribution. Think times are reported to an
+ * optional ThinkSink so the experiment layer can account productivity
+ * (Table 4.3) without the agent knowing about statistics.
+ */
+
+#ifndef BUSARB_WORKLOAD_CLOSED_AGENT_HH
+#define BUSARB_WORKLOAD_CLOSED_AGENT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "bus/bus.hh"
+#include "random/distributions.hh"
+#include "random/rng.hh"
+#include "sim/event_queue.hh"
+#include "workload/agent_traits.hh"
+
+namespace busarb {
+
+/** Receives the think-time samples an agent generates. */
+class ThinkSink
+{
+  public:
+    virtual ~ThinkSink() = default;
+
+    /**
+     * The agent spent `think` units computing before issuing a request.
+     *
+     * @param agent The agent.
+     * @param think Think duration in transaction units.
+     */
+    virtual void recordThink(AgentId agent, double think) = 0;
+};
+
+/**
+ * Closed-loop workload generator for one agent.
+ */
+class ClosedAgent
+{
+  public:
+    /**
+     * @param queue Simulation event queue.
+     * @param bus Bus to issue requests on.
+     * @param id This agent's static identity (1..N).
+     * @param traits Workload parameters.
+     * @param rng Private random stream for this agent.
+     */
+    ClosedAgent(EventQueue &queue, Bus &bus, AgentId id,
+                const AgentTraits &traits, Rng rng);
+
+    /**
+     * Construct with an explicit think-time process instead of the
+     * traits' (mean, CV) renewal distribution — e.g. the correlated
+     * OnOffProcess. The traits' meanInterrequest/cv are ignored.
+     *
+     * @param think The think-time source (owned).
+     */
+    ClosedAgent(EventQueue &queue, Bus &bus, AgentId id,
+                const AgentTraits &traits, Rng rng,
+                std::unique_ptr<Distribution> think);
+
+    /** Schedule the initial request(s); call once before running. */
+    void start();
+
+    /** The bus finished serving one of this agent's requests. */
+    void onServiceEnd(Tick now);
+
+    /** @return This agent's identity. */
+    AgentId id() const { return id_; }
+
+    /** @return The workload parameters. */
+    const AgentTraits &traits() const { return traits_; }
+
+    /** @return Requests issued so far. */
+    std::uint64_t issued() const { return issued_; }
+
+    /** Set the sink receiving think-time samples (may be nullptr). */
+    void setThinkSink(ThinkSink *sink) { sink_ = sink; }
+
+  private:
+    EventQueue &queue_;
+    Bus &bus_;
+    AgentId id_;
+    AgentTraits traits_;
+    Rng rng_;
+    std::unique_ptr<Distribution> think_;
+    ThinkSink *sink_ = nullptr;
+    std::uint64_t issued_ = 0;
+
+    /** Begin one token's think phase, then issue its request. */
+    void scheduleNextRequest();
+
+    /** Issue a request now. */
+    void issueRequest();
+};
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_CLOSED_AGENT_HH

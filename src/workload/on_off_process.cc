@@ -1,0 +1,76 @@
+#include "workload/on_off_process.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+OnOffProcess::OnOffProcess(const OnOffParams &params) : params_(params)
+{
+    BUSARB_ASSERT(params.meanOn > 0.0, "meanOn must be positive");
+    BUSARB_ASSERT(params.meanOff > 0.0, "meanOff must be positive");
+    BUSARB_ASSERT(params.burstLength >= 1.0,
+                  "burstLength must be >= 1");
+    BUSARB_ASSERT(params.gapLength >= 1.0, "gapLength must be >= 1");
+}
+
+double
+OnOffProcess::onFraction() const
+{
+    // Per regenerative cycle: burstLength ON samples, gapLength OFF.
+    return params_.burstLength /
+           (params_.burstLength + params_.gapLength);
+}
+
+double
+OnOffProcess::sample(Rng &rng) const
+{
+    const double mean = on_ ? params_.meanOn : params_.meanOff;
+    const double value = -mean * std::log(rng.uniformPositive());
+    // Geometric run lengths: leave the state with probability 1/L.
+    const double leave =
+        on_ ? 1.0 / params_.burstLength : 1.0 / params_.gapLength;
+    if (rng.uniform() < leave)
+        on_ = !on_;
+    return value;
+}
+
+double
+OnOffProcess::mean() const
+{
+    const double p = onFraction();
+    return p * params_.meanOn + (1.0 - p) * params_.meanOff;
+}
+
+double
+OnOffProcess::cv() const
+{
+    // Stationary marginal: a mixture of two exponentials with weights
+    // p and 1-p. E[X^2] = 2(p m_on^2 + (1-p) m_off^2).
+    const double p = onFraction();
+    const double m = mean();
+    const double second = 2.0 * (p * params_.meanOn * params_.meanOn +
+                                 (1.0 - p) * params_.meanOff *
+                                     params_.meanOff);
+    const double var = second - m * m;
+    return var > 0.0 ? std::sqrt(var) / m : 0.0;
+}
+
+std::string
+OnOffProcess::describe() const
+{
+    std::ostringstream os;
+    os << "OnOff(on=" << params_.meanOn << "x" << params_.burstLength
+       << ", off=" << params_.meanOff << "x" << params_.gapLength << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+OnOffProcess::clone() const
+{
+    return std::make_unique<OnOffProcess>(params_);
+}
+
+} // namespace busarb

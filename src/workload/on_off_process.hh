@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A two-state (ON/OFF) modulated think-time process.
+ *
+ * The paper's workloads are renewal processes (iid inter-request
+ * times, CV in [0, 1]). Real processors alternate between bus-hungry
+ * phases (cache-miss bursts, block copies) and quiet phases. This
+ * process models that: think times are exponential with a short mean
+ * while the source is ON and a long mean while OFF, and the state
+ * persists for geometrically many requests — producing *correlated*
+ * inter-request times (positive lag-1 autocorrelation), which no iid
+ * CV setting can express. Section 5's "adaptive scheme that uses the
+ * history of request patterns" is motivated by exactly such traffic.
+ *
+ * The object is stateful: successive sample() calls walk the chain.
+ * clone() returns a fresh process in the stationary initial state.
+ */
+
+#ifndef BUSARB_WORKLOAD_ON_OFF_PROCESS_HH
+#define BUSARB_WORKLOAD_ON_OFF_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "random/distributions.hh"
+
+namespace busarb {
+
+/** Parameters of the ON/OFF think process. */
+struct OnOffParams
+{
+    /** Mean think time while ON (bursting); > 0. */
+    double meanOn = 0.2;
+
+    /** Mean think time while OFF (quiet); > 0. */
+    double meanOff = 10.0;
+
+    /** Expected number of requests per ON burst; >= 1. */
+    double burstLength = 8.0;
+
+    /** Expected number of requests per OFF stretch; >= 1. */
+    double gapLength = 2.0;
+};
+
+/**
+ * Markov-modulated think-time process (two exponential phases).
+ */
+class OnOffProcess : public Distribution
+{
+  public:
+    explicit OnOffProcess(const OnOffParams &params);
+
+    /** Draw the next (correlated) think time and advance the chain. */
+    double sample(Rng &rng) const override;
+
+    /** @return The long-run mean think time. */
+    double mean() const override;
+
+    /** @return Coefficient of variation of the stationary marginal. */
+    double cv() const override;
+
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return True while the process is in the ON (bursting) state. */
+    bool isOn() const { return on_; }
+
+  private:
+    OnOffParams params_;
+    mutable bool on_ = true;
+
+    /** Stationary probability of drawing a sample in the ON state. */
+    double onFraction() const;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_ON_OFF_PROCESS_HH

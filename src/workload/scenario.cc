@@ -1,0 +1,78 @@
+#include "workload/scenario.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+double
+ScenarioConfig::totalOfferedLoad() const
+{
+    double total = 0.0;
+    for (const auto &a : agents) {
+        total += loadForInterrequest(a.meanInterrequest,
+                                     bus.transactionTime);
+    }
+    return total;
+}
+
+ScenarioConfig
+equalLoadScenario(int num_agents, double total_load, double cv)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    const double per_agent = total_load / num_agents;
+    BUSARB_ASSERT(per_agent > 0.0 && per_agent < 1.0,
+                  "per-agent load must be in (0, 1), got ", per_agent);
+    ScenarioConfig config;
+    config.numAgents = num_agents;
+    AgentTraits traits;
+    traits.meanInterrequest = interrequestForLoad(per_agent);
+    traits.cv = cv;
+    config.agents.assign(static_cast<std::size_t>(num_agents), traits);
+    return config;
+}
+
+ScenarioConfig
+unequalLoadScenario(int num_agents, double base_load, double factor,
+                    double cv)
+{
+    BUSARB_ASSERT(num_agents >= 2, "need at least two agents");
+    BUSARB_ASSERT(base_load > 0.0 && base_load * factor < 1.0,
+                  "loads out of range: base=", base_load, " factor=",
+                  factor);
+    ScenarioConfig config;
+    config.numAgents = num_agents;
+    AgentTraits regular;
+    regular.meanInterrequest = interrequestForLoad(base_load);
+    regular.cv = cv;
+    AgentTraits fast = regular;
+    fast.meanInterrequest = interrequestForLoad(base_load * factor);
+    config.agents.assign(static_cast<std::size_t>(num_agents), regular);
+    config.agents[0] = fast; // agent 1 is the higher-rate requester
+    return config;
+}
+
+ScenarioConfig
+worstCaseRrScenario(int num_agents, double cv)
+{
+    BUSARB_ASSERT(num_agents >= 5, "scenario needs n - 3.6 > 0");
+    ScenarioConfig config;
+    config.numAgents = num_agents;
+    AgentTraits other;
+    other.meanInterrequest = num_agents - 3.6;
+    other.cv = cv;
+    AgentTraits slow = other;
+    slow.meanInterrequest = num_agents - 0.5;
+    config.agents.assign(static_cast<std::size_t>(num_agents), other);
+    config.agents[0] = slow; // agent 1 just misses its turn
+    return config;
+}
+
+void
+setOverlapLimit(ScenarioConfig &config, double overlap)
+{
+    BUSARB_ASSERT(overlap >= 0.0, "negative overlap: ", overlap);
+    for (auto &a : config.agents)
+        a.overlapLimit = overlap;
+}
+
+} // namespace busarb

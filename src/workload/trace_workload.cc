@@ -1,0 +1,122 @@
+#include "workload/trace_workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+void
+RequestTrace::append(Tick when, AgentId agent, bool priority)
+{
+    BUSARB_ASSERT(agent >= 1, "invalid agent id: ", agent);
+    BUSARB_ASSERT(when >= 0, "negative trace time");
+    BUSARB_ASSERT(entries_.empty() || when >= entries_.back().when,
+                  "trace times must be non-decreasing");
+    entries_.push_back(TraceEntry{when, agent, priority});
+    maxAgent_ = std::max(maxAgent_, agent);
+}
+
+RequestTrace
+RequestTrace::parse(std::istream &is)
+{
+    RequestTrace trace;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        double when_units;
+        if (!(fields >> when_units))
+            continue; // blank or comment-only line
+        AgentId agent;
+        if (!(fields >> agent)) {
+            BUSARB_FATAL("trace line ", line_no,
+                         ": missing agent id");
+        }
+        std::string flag;
+        bool priority = false;
+        if (fields >> flag) {
+            if (flag == "p" || flag == "P") {
+                priority = true;
+            } else {
+                BUSARB_FATAL("trace line ", line_no,
+                             ": unexpected token '", flag, "'");
+            }
+        }
+        if (agent < 1)
+            BUSARB_FATAL("trace line ", line_no, ": bad agent ", agent);
+        const Tick when = unitsToTicks(when_units);
+        if (!trace.entries_.empty() &&
+            when < trace.entries_.back().when) {
+            BUSARB_FATAL("trace line ", line_no,
+                         ": timestamps must be non-decreasing");
+        }
+        trace.append(when, agent, priority);
+    }
+    return trace;
+}
+
+void
+RequestTrace::write(std::ostream &os) const
+{
+    os << "# busarb request trace: <time> <agent> [p]\n";
+    for (const auto &e : entries_) {
+        os << ticksToUnits(e.when) << " " << e.agent;
+        if (e.priority)
+            os << " p";
+        os << "\n";
+    }
+}
+
+RequestTrace
+RequestTrace::poisson(int num_agents, double total_rate, double length,
+                      Rng rng)
+{
+    BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
+    BUSARB_ASSERT(total_rate > 0.0, "rate must be positive");
+    BUSARB_ASSERT(length > 0.0, "length must be positive");
+    RequestTrace trace;
+    double t = 0.0;
+    while (true) {
+        t += -std::log(rng.uniformPositive()) / total_rate;
+        if (t >= length)
+            break;
+        const AgentId agent =
+            1 + static_cast<AgentId>(
+                    rng.below(static_cast<std::uint64_t>(num_agents)));
+        trace.append(unitsToTicks(t), agent);
+    }
+    return trace;
+}
+
+TracePlayer::TracePlayer(EventQueue &queue, Bus &bus, RequestTrace trace)
+    : queue_(queue), bus_(bus), trace_(std::move(trace))
+{
+    BUSARB_ASSERT(trace_.maxAgent() <= bus.numAgents(),
+                  "trace references agent ", trace_.maxAgent(),
+                  " but the bus has only ", bus.numAgents());
+}
+
+void
+TracePlayer::start()
+{
+    for (const auto &entry : trace_.entries()) {
+        queue_.schedule(entry.when,
+                        [this, entry] {
+                            ++injected_;
+                            bus_.postRequest(entry.agent, entry.priority);
+                        },
+                        kPriRequestArrival);
+    }
+}
+
+} // namespace busarb

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Trace-driven (open-loop) workload.
+ *
+ * The paper's fairness findings were corroborated by a trace simulation
+ * study [EgGi87]. This module replays a fixed schedule of bus requests
+ * — from a file, a programmatic list, or a synthetic generator — so
+ * protocols can be compared on identical request sequences, open-loop
+ * (arrival times do not react to bus delays, unlike ClosedAgent).
+ *
+ * Trace format (text, one request per line):
+ *     <time-in-transaction-units> <agent-id> [p]
+ * '#' starts a comment; blank lines are ignored; times must be
+ * non-decreasing. The trailing 'p' marks a priority request.
+ */
+
+#ifndef BUSARB_WORKLOAD_TRACE_WORKLOAD_HH
+#define BUSARB_WORKLOAD_TRACE_WORKLOAD_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "random/rng.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace busarb {
+
+/** One trace record. */
+struct TraceEntry
+{
+    Tick when = 0;
+    AgentId agent = kNoAgent;
+    bool priority = false;
+
+    bool
+    operator==(const TraceEntry &other) const
+    {
+        return when == other.when && agent == other.agent &&
+               priority == other.priority;
+    }
+};
+
+/** An ordered bus-request trace. */
+class RequestTrace
+{
+  public:
+    RequestTrace() = default;
+
+    /** Append one record; times must be non-decreasing. */
+    void append(Tick when, AgentId agent, bool priority = false);
+
+    /** @return All records, in time order. */
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+
+    /** @return Number of records. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** @return True when the trace has no records. */
+    bool empty() const { return entries_.empty(); }
+
+    /** @return Largest agent id referenced (0 if empty). */
+    AgentId maxAgent() const { return maxAgent_; }
+
+    /**
+     * Parse a trace from a stream (format in the file header).
+     *
+     * @param is Input stream.
+     * @return The parsed trace; fatal error on malformed input.
+     */
+    static RequestTrace parse(std::istream &is);
+
+    /** Serialize in the parseable text format. */
+    void write(std::ostream &os) const;
+
+    /**
+     * Generate a synthetic Poisson trace.
+     *
+     * @param num_agents Agents 1..N, equal rates.
+     * @param total_rate Aggregate request rate (requests per unit).
+     * @param length Trace duration in transaction units.
+     * @param rng Randomness source.
+     * @return Trace with exponential inter-arrivals, uniform agents.
+     */
+    static RequestTrace poisson(int num_agents, double total_rate,
+                                double length, Rng rng);
+
+  private:
+    std::vector<TraceEntry> entries_;
+    AgentId maxAgent_ = 0;
+};
+
+/**
+ * Replays a RequestTrace into a Bus (open loop).
+ */
+class TracePlayer
+{
+  public:
+    /**
+     * @param queue Simulation event queue.
+     * @param bus Target bus; must have at least trace.maxAgent() agents.
+     * @param trace The schedule to replay (copied).
+     */
+    TracePlayer(EventQueue &queue, Bus &bus, RequestTrace trace);
+
+    /** Schedule every trace record; call once before running. */
+    void start();
+
+    /** @return Requests injected so far. */
+    std::size_t injected() const { return injected_; }
+
+    /** @return Total records in the trace. */
+    std::size_t total() const { return trace_.size(); }
+
+  private:
+    EventQueue &queue_;
+    Bus &bus_;
+    RequestTrace trace_;
+    std::size_t injected_ = 0;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_TRACE_WORKLOAD_HH

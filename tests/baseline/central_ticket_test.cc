@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the central reference arbiters and the Sharma-Ahuja
+ * ticket FCFS baseline.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/central.hh"
+#include "baseline/fixed_priority.hh"
+#include "baseline/ticket_fcfs.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+TEST(CentralRrTest, ScanMatchesDistributedDefinition)
+{
+    CentralRoundRobinProtocol protocol;
+    ProtocolDriver driver(protocol, 5);
+    for (AgentId a = 1; a <= 5; ++a)
+        driver.post(a, 0);
+    std::vector<AgentId> order;
+    for (int i = 0; i < 5; ++i) {
+        order.push_back(driver.arbitrateAndServe(1 + i));
+        driver.post(order.back(), 1 + i);
+    }
+    EXPECT_EQ(order, (std::vector<AgentId>{5, 4, 3, 2, 1}));
+}
+
+TEST(CentralRrTest, PointerSkipsIdleAgents)
+{
+    CentralRoundRobinProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(6, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 6);
+    driver.post(7, 2); // above the pointer (at 5): served after wrap
+    driver.post(2, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+}
+
+TEST(CentralFcfsTest, ServesInIssueOrder)
+{
+    CentralFcfsProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 10);
+    driver.post(2, 20);
+    driver.post(8, 30);
+    EXPECT_EQ(driver.arbitrateAndServe(40), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(41), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(42), 8);
+}
+
+TEST(CentralFcfsTest, SimultaneousIssueBreaksTiesBySeq)
+{
+    CentralFcfsProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 10); // seq 1
+    driver.post(2, 10); // seq 2
+    EXPECT_EQ(driver.arbitrateAndServe(20), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(21), 2);
+}
+
+TEST(CentralFcfsTest, PerAgentQueuesStayFifo)
+{
+    CentralFcfsProtocol protocol;
+    ProtocolDriver driver(protocol, 4);
+    driver.post(1, 10);
+    driver.post(2, 20);
+    driver.post(1, 30);
+    std::vector<AgentId> order;
+    for (int i = 0; i < 3; ++i)
+        order.push_back(driver.arbitrateAndServe(40 + i));
+    EXPECT_EQ(order, (std::vector<AgentId>{1, 2, 1}));
+}
+
+TEST(TicketFcfsTest, UnboundedTicketsAreExactFcfs)
+{
+    TicketFcfsProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(7, 0);
+    driver.post(3, 1);
+    driver.post(5, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(5), 7);
+    EXPECT_EQ(driver.arbitrateAndServe(6), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(7), 5);
+    EXPECT_EQ(protocol.ticketsIssued(), 3u);
+}
+
+TEST(TicketFcfsTest, BoundedTicketsWrapCorrectly)
+{
+    // 3-bit dispenser: tickets wrap mod 8; the circular comparison must
+    // keep serving in issue order across the wrap as long as fewer than
+    // 4 requests are outstanding at once.
+    TicketFcfsConfig config;
+    config.ticketBits = 3;
+    TicketFcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 4);
+    Tick now = 0;
+    for (int round = 0; round < 10; ++round) {
+        driver.post(1, ++now);
+        driver.post(2, ++now);
+        EXPECT_EQ(driver.arbitrateAndServe(++now), 1) << round;
+        EXPECT_EQ(driver.arbitrateAndServe(++now), 2) << round;
+    }
+}
+
+TEST(FixedPriorityTest, AlwaysServesHighestIdentity)
+{
+    FixedPriorityProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);
+    driver.post(5, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    driver.post(5, 2); // immediately re-requests and wins again
+    EXPECT_EQ(driver.arbitrateAndServe(3), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 2);
+}
+
+TEST(FixedPriorityTest, PriorityBitDominatesIdentity)
+{
+    FixedPriorityProtocol protocol(/*enable_priority=*/true);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(8, 0, false);
+    driver.post(1, 0, true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 1);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 8);
+}
+
+TEST(FixedPriorityTest, AgentPresentsItsPriorityRequestFirst)
+{
+    FixedPriorityProtocol protocol(/*enable_priority=*/true);
+    ProtocolDriver driver(protocol, 8);
+    const Request np = driver.post(2, 0, false);
+    const Request p = driver.post(2, 1, true);
+    driver.post(5, 0, false);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 2);
+    EXPECT_EQ(driver.served().back().seq, p.seq);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 2);
+    EXPECT_EQ(driver.served().back().seq, np.seq);
+}
+
+TEST(CentralDeathTest, PriorityRejected)
+{
+    CentralRoundRobinProtocol rr;
+    ProtocolDriver d1(rr, 4);
+    EXPECT_DEATH(d1.post(1, 0, true), "priority");
+    CentralFcfsProtocol fcfs;
+    ProtocolDriver d2(fcfs, 4);
+    EXPECT_DEATH(d2.post(1, 0, true), "priority");
+    TicketFcfsProtocol ticket;
+    ProtocolDriver d3(ticket, 4);
+    EXPECT_DEATH(d3.post(1, 0, true), "priority");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Additional bus-engine edge cases: accounting counters, boundary
+ * sizes, and unusual timing parameter combinations.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fixed_priority.hh"
+#include "bus/bus.hh"
+#include "core/round_robin.hh"
+#include "sim/event_queue.hh"
+#include "support/schedule_recorder.hh"
+
+namespace busarb {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(BusEdgeTest, OutstandingRequestsTracksPostedMinusCompleted)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    EXPECT_EQ(bus.outstandingRequests(), 0u);
+    queue.schedule(0, [&] {
+        bus.postRequest(1);
+        bus.postRequest(2);
+        bus.postRequest(3);
+    });
+    queue.run(U); // one transaction done by t = 1.5? no: ends at 1.5
+    EXPECT_EQ(bus.outstandingRequests(), 3u);
+    queue.run(2 * U); // first service [0.5, 1.5] completed
+    EXPECT_EQ(bus.outstandingRequests(), 2u);
+    queue.run();
+    EXPECT_EQ(bus.outstandingRequests(), 0u);
+    EXPECT_EQ(bus.completedTransactions(), 3u);
+}
+
+TEST(BusEdgeTest, ExposedArbitrationAccumulatesAcrossIdleGaps)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    // Three isolated requests, each paying the full 0.5 exposure.
+    for (int i = 0; i < 3; ++i)
+        queue.schedule(i * 10 * U, [&] { bus.postRequest(1); });
+    queue.run();
+    EXPECT_EQ(bus.exposedArbitrationTicks(), 3 * U / 2);
+}
+
+TEST(BusEdgeTest, SingleAgentBusWorks)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<RoundRobinProtocol>(), 1, {});
+    test::ScheduleRecorder recorder;
+    bus.setObserver(&recorder);
+    queue.schedule(0, [&] { bus.postRequest(1); });
+    queue.schedule(3 * U, [&] { bus.postRequest(1); });
+    queue.run();
+    ASSERT_EQ(recorder.grants().size(), 2u);
+    EXPECT_EQ(recorder.grants()[0].agent, 1);
+    EXPECT_EQ(recorder.grants()[1].agent, 1);
+}
+
+TEST(BusEdgeTest, SixtyFourAgentBurstServesEveryoneOnce)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<RoundRobinProtocol>(), 64, {});
+    test::ScheduleRecorder recorder;
+    bus.setObserver(&recorder);
+    queue.schedule(0, [&] {
+        for (AgentId a = 1; a <= 64; ++a)
+            bus.postRequest(a);
+    });
+    queue.run();
+    ASSERT_EQ(recorder.grants().size(), 64u);
+    // Descending identity order from a cold round-robin start.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(recorder.grants()[static_cast<std::size_t>(i)].agent,
+                  64 - i);
+    // Back-to-back service with only the first arbitration exposed.
+    EXPECT_EQ(recorder.grants()[63].end, U / 2 + 64 * U);
+    EXPECT_EQ(bus.exposedArbitrationTicks(), U / 2);
+}
+
+TEST(BusEdgeTest, NoObserverIsFine)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    queue.schedule(0, [&] {
+        bus.postRequest(1);
+        bus.postRequest(2);
+    });
+    queue.run();
+    EXPECT_EQ(bus.completedTransactions(), 2u);
+}
+
+TEST(BusEdgeTest, ServiceShorterThanOverheadSerializesOnArbitration)
+{
+    BusParams params;
+    params.transactionTime = 0.25;
+    params.arbitrationOverhead = 0.5;
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, params);
+    test::ScheduleRecorder recorder;
+    bus.setObserver(&recorder);
+    queue.schedule(0, [&] {
+        bus.postRequest(1);
+        bus.postRequest(2);
+        bus.postRequest(3);
+    });
+    queue.run();
+    ASSERT_EQ(recorder.grants().size(), 3u);
+    // Grants at 0.5, 1.0, 1.5: the bus idles 0.25 between transfers
+    // because arbitration (0.5) outlasts the 0.25 transfer.
+    EXPECT_EQ(recorder.grants()[0].start, U / 2);
+    EXPECT_EQ(recorder.grants()[1].start, U);
+    EXPECT_EQ(recorder.grants()[2].start, 3 * U / 2);
+    // Utilization is 3 * 0.25 of 1.75 total.
+    EXPECT_EQ(bus.busyTicks(), 3 * U / 4);
+}
+
+TEST(BusEdgeTest, StatsCountersAreConsistent)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<RoundRobinProtocol>(RrConfig{
+                       RrImplementation::kNoExtraLine}),
+            4, {});
+    queue.schedule(0, [&] { bus.postRequest(2); });
+    queue.schedule(2 * U, [&] { bus.postRequest(3); });
+    queue.run();
+    EXPECT_EQ(bus.completedTransactions(), 2u);
+    // Impl 3 pays a wrap pass for the second request (3 >= recorded 2).
+    EXPECT_EQ(bus.retryPasses(), 1u);
+    EXPECT_EQ(bus.arbitrationPasses(), 3u);
+    EXPECT_FALSE(bus.busy());
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Timing tests for the bus engine: arbitration overlap, exposed
+ * overhead, retry passes, competitor freezing.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/aap_futurebus.hh"
+#include "baseline/fixed_priority.hh"
+#include "bus/bus.hh"
+#include "sim/event_queue.hh"
+#include "support/schedule_recorder.hh"
+
+namespace busarb {
+namespace {
+
+using test::Grant;
+using test::ScheduleRecorder;
+
+constexpr Tick U = kTicksPerUnit;
+
+struct BusFixture
+{
+    EventQueue queue;
+    std::unique_ptr<Bus> bus;
+    ScheduleRecorder recorder;
+
+    explicit BusFixture(int num_agents = 4, BusParams params = {})
+    {
+        bus = std::make_unique<Bus>(
+            queue, std::make_unique<FixedPriorityProtocol>(), num_agents,
+            params);
+        bus->setObserver(&recorder);
+    }
+};
+
+TEST(BusTest, IdleRequestPaysArbitrationOverhead)
+{
+    BusFixture f;
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 1u);
+    const Grant g = f.recorder.grants()[0];
+    EXPECT_EQ(g.start, U / 2);       // 0.5 units of arbitration
+    EXPECT_EQ(g.end, U / 2 + U);     // + 1 unit of service
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), U / 2);
+    EXPECT_EQ(f.bus->completedTransactions(), 1u);
+    EXPECT_EQ(f.bus->busyTicks(), U);
+}
+
+TEST(BusTest, ArbitrationOverlapsWithService)
+{
+    // Two simultaneous requests: the loser's arbitration runs during the
+    // winner's transfer, so back-to-back service with no gap.
+    BusFixture f;
+    f.queue.schedule(0, [&] {
+        f.bus->postRequest(1);
+        f.bus->postRequest(2);
+    });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 2u);
+    // Fixed priority: agent 2 first.
+    EXPECT_EQ(f.recorder.grants()[0].agent, 2);
+    EXPECT_EQ(f.recorder.grants()[0].start, U / 2);
+    EXPECT_EQ(f.recorder.grants()[1].agent, 1);
+    EXPECT_EQ(f.recorder.grants()[1].start, U / 2 + U); // no gap
+    // Only the first pass was exposed.
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), U / 2);
+    EXPECT_EQ(f.bus->arbitrationPasses(), 2u);
+}
+
+TEST(BusTest, MidTenureArrivalArbitratesImmediately)
+{
+    // Service [0.5, 1.5); a request lands at 0.7 with no pass running:
+    // its pass is [0.7, 1.2] and service follows seamlessly at 1.5.
+    BusFixture f;
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.schedule(7 * U / 10, [&] { f.bus->postRequest(2); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 2u);
+    EXPECT_EQ(f.recorder.grants()[1].agent, 2);
+    EXPECT_EQ(f.recorder.grants()[1].start, U / 2 + U);
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), U / 2); // first pass only
+}
+
+TEST(BusTest, LateArrivalExposesPartialOverhead)
+{
+    // Service [0.5, 1.5); a request lands at 1.3: pass [1.3, 1.8], so
+    // the bus idles 0.3 units.
+    BusFixture f;
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.schedule(13 * U / 10, [&] { f.bus->postRequest(2); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 2u);
+    EXPECT_EQ(f.recorder.grants()[1].start, 18 * U / 10);
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), U / 2 + 3 * U / 10);
+}
+
+TEST(BusTest, OnlyOneArbitrationPerTenure)
+{
+    // While a winner is already decided, later arrivals must wait for
+    // the next tenure's arbitration.
+    BusFixture f;
+    f.queue.schedule(0, [&] {
+        f.bus->postRequest(1);
+        f.bus->postRequest(2);
+    });
+    // Arrives after the second pass decided agent 1 (at 1.0) but before
+    // the first transfer ends (1.5): joins the third pass, not this one.
+    f.queue.schedule(12 * U / 10, [&] { f.bus->postRequest(3); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 3u);
+    EXPECT_EQ(f.recorder.grants()[0].agent, 2);
+    EXPECT_EQ(f.recorder.grants()[1].agent, 1);
+    EXPECT_EQ(f.recorder.grants()[2].agent, 3);
+    EXPECT_EQ(f.bus->arbitrationPasses(), 3u);
+}
+
+TEST(BusTest, CompetitorSetFrozenAtPassStart)
+{
+    // Agent 1 requests at 0; agent 2 (higher priority under fixed
+    // priority) requests at 0.2 while the pass is in flight. Agent 1
+    // must still win the first arbitration.
+    BusFixture f;
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.schedule(2 * U / 10, [&] { f.bus->postRequest(2); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 2u);
+    EXPECT_EQ(f.recorder.grants()[0].agent, 1);
+    EXPECT_EQ(f.recorder.grants()[1].agent, 2);
+}
+
+TEST(BusTest, ZeroOverheadGrantsImmediately)
+{
+    BusParams params;
+    params.arbitrationOverhead = 0.0;
+    BusFixture f(4, params);
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 1u);
+    EXPECT_EQ(f.recorder.grants()[0].start, 0);
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), 0);
+}
+
+TEST(BusTest, OverheadLongerThanServiceStallsTheBus)
+{
+    BusParams params;
+    params.arbitrationOverhead = 2.0;
+    BusFixture f(4, params);
+    f.queue.schedule(0, [&] {
+        f.bus->postRequest(1);
+        f.bus->postRequest(2);
+    });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 2u);
+    EXPECT_EQ(f.recorder.grants()[0].start, 2 * U);      // pass [0, 2]
+    EXPECT_EQ(f.recorder.grants()[0].end, 3 * U);
+    // Second pass starts at tenure start (2.0), completes 4.0 > 3.0.
+    EXPECT_EQ(f.recorder.grants()[1].start, 4 * U);
+    EXPECT_EQ(f.bus->exposedArbitrationTicks(), 2 * U + U);
+}
+
+TEST(BusTest, FractionalTransactionTime)
+{
+    BusParams params;
+    params.transactionTime = 2.5;
+    params.arbitrationOverhead = 0.25;
+    BusFixture f(4, params);
+    f.queue.schedule(0, [&] { f.bus->postRequest(1); });
+    f.queue.run();
+    ASSERT_EQ(f.recorder.grants().size(), 1u);
+    EXPECT_EQ(f.recorder.grants()[0].start, U / 4);
+    EXPECT_EQ(f.recorder.grants()[0].end, U / 4 + 5 * U / 2);
+}
+
+TEST(BusTest, RetryPassCostsTimeWhenExposed)
+{
+    // Futurebus AAP: agent 1 is served and inhibited; its next request
+    // needs a fairness-release pass (empty) plus a real pass.
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FuturebusAapProtocol>(), 4, {});
+    ScheduleRecorder recorder;
+    bus.setObserver(&recorder);
+    queue.schedule(0, [&] { bus.postRequest(1); });
+    queue.schedule(2 * U, [&] { bus.postRequest(1); });
+    queue.run();
+    ASSERT_EQ(recorder.grants().size(), 2u);
+    // First service: [0.5, 1.5]. Second request at 2.0: release pass
+    // [2.0, 2.5], real pass [2.5, 3.0], service [3.0, 4.0].
+    EXPECT_EQ(recorder.grants()[1].start, 3 * U);
+    EXPECT_EQ(bus.retryPasses(), 1u);
+    EXPECT_EQ(bus.arbitrationPasses(), 3u);
+}
+
+TEST(BusTest, RequestsFromObserverCallbacksAreSafe)
+{
+    // Re-post from the completion callback (think time zero).
+    struct Reposter : BusObserver
+    {
+        Bus *bus = nullptr;
+        int remaining = 3;
+
+        void onServiceStart(const Request &, Tick) override {}
+
+        void
+        onServiceEnd(const Request &req, Tick) override
+        {
+            if (remaining-- > 0)
+                bus->postRequest(req.agent);
+        }
+    };
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    Reposter reposter;
+    reposter.bus = &bus;
+    bus.setObserver(&reposter);
+    queue.schedule(0, [&] { bus.postRequest(1); });
+    queue.run();
+    EXPECT_EQ(bus.completedTransactions(), 4u);
+}
+
+TEST(BusDeathTest, InvalidConfigurationAndIds)
+{
+    EventQueue queue;
+    EXPECT_DEATH(Bus(queue, nullptr, 4, {}), "needs a protocol");
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    EXPECT_DEATH(bus.postRequest(0), "out of range");
+    EXPECT_DEATH(bus.postRequest(5), "out of range");
+}
+
+} // namespace
+} // namespace busarb

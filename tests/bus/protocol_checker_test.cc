@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the protocol-checking decorator: it must pass through
+ * well-behaved protocols transparently and catch contract violations.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fixed_priority.hh"
+#include "bus/protocol_checker.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+/** A protocol that misbehaves in a configurable way. */
+class MisbehavingProtocol : public ArbitrationProtocol
+{
+  public:
+    enum class Mode {
+        kWellBehaved,
+        kWinnerNeverPosted,
+        kEndlessRetry,
+        kServeTwice,
+    };
+
+    explicit MisbehavingProtocol(Mode mode) : mode_(mode) {}
+
+    void
+    reset(int num_agents) override
+    {
+        (void)num_agents;
+        pending_ = {};
+        servedOnce_ = {};
+    }
+
+    void
+    requestPosted(const Request &req) override
+    {
+        pending_.push_back(req);
+    }
+
+    bool wantsPass() const override { return !pending_.empty(); }
+
+    void beginPass(Tick) override {}
+
+    PassResult
+    completePass(Tick) override
+    {
+        switch (mode_) {
+          case Mode::kEndlessRetry:
+            return PassResult::makeRetry();
+          case Mode::kWinnerNeverPosted: {
+            Request ghost;
+            ghost.agent = 1;
+            ghost.seq = 99999;
+            return PassResult::makeWinner(ghost);
+          }
+          case Mode::kServeTwice:
+            if (!servedOnce_.empty())
+                return PassResult::makeWinner(servedOnce_.front());
+            [[fallthrough]];
+          case Mode::kWellBehaved:
+            if (pending_.empty())
+                return PassResult::makeIdle();
+            return PassResult::makeWinner(pending_.front());
+        }
+        return PassResult::makeIdle();
+    }
+
+    void
+    tenureStarted(const Request &req, Tick) override
+    {
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->seq == req.seq) {
+                servedOnce_.push_back(*it);
+                pending_.erase(it);
+                return;
+            }
+        }
+    }
+
+    std::string name() const override { return "misbehaving"; }
+
+  private:
+    Mode mode_;
+    std::vector<Request> pending_;
+    std::vector<Request> servedOnce_;
+};
+
+ProtocolChecker
+makeChecked(MisbehavingProtocol::Mode mode)
+{
+    return ProtocolChecker(
+        std::make_unique<MisbehavingProtocol>(mode));
+}
+
+TEST(ProtocolCheckerTest, TransparentForWellBehavedProtocol)
+{
+    ProtocolChecker checked(std::make_unique<FixedPriorityProtocol>());
+    ProtocolDriver driver(checked, 4);
+    driver.post(1, 0);
+    driver.post(3, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 1);
+    EXPECT_EQ(checked.posted(), 2u);
+    EXPECT_EQ(checked.served(), 2u);
+    EXPECT_NE(checked.name().find("[checked]"), std::string::npos);
+}
+
+TEST(ProtocolCheckerDeathTest, CatchesGhostWinner)
+{
+    auto checked =
+        makeChecked(MisbehavingProtocol::Mode::kWinnerNeverPosted);
+    ProtocolDriver driver(checked, 4);
+    driver.post(1, 0);
+    EXPECT_DEATH(driver.arbitrateAndServe(1), "never posted");
+}
+
+TEST(ProtocolCheckerDeathTest, CatchesRetryLivelock)
+{
+    auto checked = makeChecked(MisbehavingProtocol::Mode::kEndlessRetry);
+    ProtocolDriver driver(checked, 4);
+    driver.post(1, 0);
+    EXPECT_DEATH(driver.arbitrateAndServe(1), "livelock");
+}
+
+TEST(ProtocolCheckerDeathTest, CatchesDoubleService)
+{
+    auto checked = makeChecked(MisbehavingProtocol::Mode::kServeTwice);
+    ProtocolDriver driver(checked, 4);
+    driver.post(2, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 2);
+    driver.post(3, 2);
+    // The inner protocol now re-announces the already-served request.
+    EXPECT_DEATH(driver.arbitrateAndServe(3),
+                 "never posted or already served");
+}
+
+TEST(ProtocolCheckerDeathTest, CatchesLifecycleViolations)
+{
+    ProtocolChecker checked(std::make_unique<FixedPriorityProtocol>());
+    EXPECT_DEATH(checked.beginPass(0), "before reset");
+    checked.reset(4);
+    EXPECT_DEATH(checked.completePass(0), "without beginPass");
+    checked.beginPass(0);
+    EXPECT_DEATH(checked.beginPass(0), "while a pass is open");
+}
+
+TEST(ProtocolCheckerDeathTest, CatchesDoublePost)
+{
+    ProtocolChecker checked(std::make_unique<FixedPriorityProtocol>());
+    checked.reset(4);
+    Request req;
+    req.agent = 1;
+    req.seq = 7;
+    req.issued = 0;
+    checked.requestPosted(req);
+    EXPECT_DEATH(checked.requestPosted(req), "posted twice");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the bus tracing facility.
+ */
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baseline/aap_futurebus.hh"
+#include "baseline/fixed_priority.hh"
+#include "bus/bus.hh"
+#include "bus/trace.hh"
+#include "sim/event_queue.hh"
+
+namespace busarb {
+namespace {
+
+/** Tracer counting each event kind. */
+struct CountingTracer : BusTracer
+{
+    int posted = 0;
+    int passStarts = 0;
+    int winners = 0;
+    int retries = 0;
+    int tenureStarts = 0;
+    int tenureEnds = 0;
+
+    void onRequestPosted(const Request &) override { ++posted; }
+    void onPassStarted(Tick) override { ++passStarts; }
+
+    void
+    onPassResolved(Tick, const Request &winner, bool retry) override
+    {
+        if (winner.valid())
+            ++winners;
+        if (retry)
+            ++retries;
+    }
+
+    void onTenureStarted(const Request &, Tick) override
+    {
+        ++tenureStarts;
+    }
+
+    void onTenureEnded(const Request &, Tick) override { ++tenureEnds; }
+};
+
+TEST(TraceTest, EventsBalance)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    CountingTracer tracer;
+    bus.setTracer(&tracer);
+    queue.schedule(0, [&] {
+        bus.postRequest(1);
+        bus.postRequest(2);
+    });
+    queue.schedule(3 * kTicksPerUnit, [&] { bus.postRequest(3); });
+    queue.run();
+    EXPECT_EQ(tracer.posted, 3);
+    EXPECT_EQ(tracer.winners, 3);
+    EXPECT_EQ(tracer.tenureStarts, 3);
+    EXPECT_EQ(tracer.tenureEnds, 3);
+    EXPECT_EQ(tracer.passStarts, tracer.winners + tracer.retries);
+    EXPECT_EQ(tracer.retries, 0);
+}
+
+TEST(TraceTest, RetriesAreVisible)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FuturebusAapProtocol>(), 4, {});
+    CountingTracer tracer;
+    bus.setTracer(&tracer);
+    queue.schedule(0, [&] { bus.postRequest(1); });
+    queue.schedule(2 * kTicksPerUnit, [&] { bus.postRequest(1); });
+    queue.run();
+    EXPECT_EQ(tracer.retries, 1); // the fairness release
+    EXPECT_EQ(tracer.winners, 2);
+}
+
+TEST(TextTracerTest, ProducesReadableTimeline)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    std::ostringstream os;
+    TextTracer tracer(os);
+    bus.setTracer(&tracer);
+    queue.schedule(0, [&] { bus.postRequest(2); });
+    queue.run();
+    const std::string out = os.str();
+    EXPECT_NE(out.find("agent  2 asserts request"), std::string::npos);
+    EXPECT_NE(out.find("arbitration pass starts"), std::string::npos);
+    EXPECT_NE(out.find("agent 2 wins"), std::string::npos);
+    EXPECT_NE(out.find("becomes bus master"), std::string::npos);
+    EXPECT_NE(out.find("releases the bus"), std::string::npos);
+    EXPECT_GE(tracer.events(), 5u);
+}
+
+TEST(TextTracerTest, TruncatesAtEventBudget)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    std::ostringstream os;
+    TextTracer tracer(os, /*max_events=*/3);
+    bus.setTracer(&tracer);
+    queue.schedule(0, [&] {
+        bus.postRequest(1);
+        bus.postRequest(2);
+        bus.postRequest(3);
+    });
+    queue.run();
+    EXPECT_NE(os.str().find("trace truncated"), std::string::npos);
+    EXPECT_EQ(tracer.events(), 3u);
+}
+
+TEST(TextTracerTest, PriorityRequestsAreAnnotated)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(true), 4, {});
+    std::ostringstream os;
+    TextTracer tracer(os);
+    bus.setTracer(&tracer);
+    queue.schedule(0, [&] { bus.postRequest(1, /*priority=*/true); });
+    queue.run();
+    EXPECT_NE(os.str().find("(priority)"), std::string::npos);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the wired-OR line model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bus/wired_or.hh"
+
+namespace busarb {
+namespace {
+
+TEST(WiredOrTest, FloatsLowInitially)
+{
+    WiredOrLine line(4);
+    EXPECT_FALSE(line.read());
+    EXPECT_EQ(line.numAsserting(), 0);
+    EXPECT_EQ(line.numAgents(), 4);
+}
+
+TEST(WiredOrTest, SingleDriverRaisesLine)
+{
+    WiredOrLine line(4);
+    line.assertLine(2);
+    EXPECT_TRUE(line.read());
+    EXPECT_TRUE(line.isAsserting(2));
+    EXPECT_FALSE(line.isAsserting(1));
+}
+
+TEST(WiredOrTest, OrSemantics)
+{
+    WiredOrLine line(3);
+    line.assertLine(1);
+    line.assertLine(3);
+    EXPECT_TRUE(line.read());
+    line.releaseLine(1);
+    EXPECT_TRUE(line.read()); // agent 3 still drives
+    line.releaseLine(3);
+    EXPECT_FALSE(line.read());
+}
+
+TEST(WiredOrTest, AssertIsIdempotent)
+{
+    WiredOrLine line(2);
+    line.assertLine(1);
+    line.assertLine(1);
+    EXPECT_EQ(line.numAsserting(), 1);
+    line.releaseLine(1);
+    EXPECT_FALSE(line.read());
+}
+
+TEST(WiredOrTest, ReleaseIsIdempotent)
+{
+    WiredOrLine line(2);
+    line.releaseLine(1);
+    line.assertLine(1);
+    line.releaseLine(1);
+    line.releaseLine(1);
+    EXPECT_EQ(line.numAsserting(), 0);
+}
+
+TEST(WiredOrTest, RisingEdgesCountZeroToOneTransitions)
+{
+    WiredOrLine line(3);
+    EXPECT_EQ(line.risingEdges(), 0u);
+    line.assertLine(1);       // edge 1
+    line.assertLine(2);       // already high, no edge
+    line.releaseLine(1);
+    line.releaseLine(2);      // line falls
+    line.assertLine(3);       // edge 2
+    EXPECT_EQ(line.risingEdges(), 2u);
+}
+
+TEST(WiredOrTest, ClearReleasesEveryDriver)
+{
+    WiredOrLine line(5);
+    for (AgentId a = 1; a <= 5; ++a)
+        line.assertLine(a);
+    line.clear();
+    EXPECT_FALSE(line.read());
+    for (AgentId a = 1; a <= 5; ++a)
+        EXPECT_FALSE(line.isAsserting(a));
+}
+
+TEST(WiredOrDeathTest, OutOfRangeAgents)
+{
+    WiredOrLine line(3);
+    EXPECT_DEATH(line.assertLine(0), "out of range");
+    EXPECT_DEATH(line.assertLine(4), "out of range");
+    EXPECT_DEATH(line.releaseLine(-1), "out of range");
+    EXPECT_DEATH(line.isAsserting(9), "out of range");
+    EXPECT_DEATH(WiredOrLine(0), "at least one agent");
+}
+
+} // namespace
+} // namespace busarb

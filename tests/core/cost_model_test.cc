@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the wiring cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+
+namespace busarb {
+namespace {
+
+TEST(CostModelTest, FixedPriorityBaseline)
+{
+    // 10 agents -> k = 4: 4 arbitration lines + the request line.
+    const auto cost = fixedPriorityCost(10, LineEncoding::kFull);
+    EXPECT_EQ(cost.arbitrationLines, 4);
+    EXPECT_EQ(cost.broadcastLines, 0);
+    EXPECT_EQ(cost.controlLines, 1);
+    EXPECT_EQ(cost.totalLines(), 5);
+    EXPECT_DOUBLE_EQ(cost.arbitrationPropagations, 2.0); // k/2
+}
+
+TEST(CostModelTest, PatternedLinesCutTheDelay)
+{
+    const auto cost = fixedPriorityCost(30, LineEncoding::kBinaryPatterned);
+    EXPECT_EQ(cost.arbitrationLines, 5);
+    EXPECT_DOUBLE_EQ(cost.arbitrationPropagations, 1.0);
+}
+
+TEST(CostModelTest, AapCostsMatchFixedPriority)
+{
+    for (auto enc :
+         {LineEncoding::kFull, LineEncoding::kBinaryPatterned}) {
+        const auto aap = assuredAccessCost(30, enc);
+        const auto fixed = fixedPriorityCost(30, enc);
+        EXPECT_EQ(aap.totalLines(), fixed.totalLines());
+        EXPECT_DOUBLE_EQ(aap.arbitrationPropagations,
+                         fixed.arbitrationPropagations);
+    }
+}
+
+TEST(CostModelTest, RrImplementationsDifferByOneLine)
+{
+    RrConfig impl1;
+    impl1.impl = RrImplementation::kPriorityBit;
+    RrConfig impl2;
+    impl2.impl = RrImplementation::kLowRequestLine;
+    RrConfig impl3;
+    impl3.impl = RrImplementation::kNoExtraLine;
+    const auto c1 = roundRobinCost(10, impl1, LineEncoding::kFull);
+    const auto c2 = roundRobinCost(10, impl2, LineEncoding::kFull);
+    const auto c3 = roundRobinCost(10, impl3, LineEncoding::kFull);
+    // impl 1: 5 arb + 1 control; impl 2: 4 arb + 2 control;
+    // impl 3: 4 arb + 1 control.
+    EXPECT_EQ(c1.totalLines(), 6);
+    EXPECT_EQ(c2.totalLines(), 6);
+    EXPECT_EQ(c3.totalLines(), 5);
+    // impl 1 arbitrates over one more line than impl 2.
+    EXPECT_GT(c1.arbitrationPropagations, c2.arbitrationPropagations);
+}
+
+TEST(CostModelTest, RrWithPatternedLinesNeedsWinnerBroadcast)
+{
+    // Paper footnote 2: binary-patterned lines cannot be used easily
+    // for RR; broadcasting the winner costs k extra lines.
+    RrConfig config;
+    const auto full = roundRobinCost(10, config, LineEncoding::kFull);
+    const auto patterned =
+        roundRobinCost(10, config, LineEncoding::kBinaryPatterned);
+    EXPECT_EQ(full.broadcastLines, 0);
+    EXPECT_EQ(patterned.broadcastLines, 4);
+    EXPECT_GT(patterned.totalLines(), full.totalLines());
+    EXPECT_LT(patterned.arbitrationPropagations,
+              full.arbitrationPropagations + 1.0);
+}
+
+TEST(CostModelTest, FcfsDoublesTheIdentityWidth)
+{
+    // Section 3.2: "at most we need to double the size of the
+    // identities".
+    FcfsConfig config;
+    const auto cost = fcfsCost(10, config, LineEncoding::kFull);
+    EXPECT_EQ(cost.arbitrationLines, 8); // 4 id + 4 counter
+    EXPECT_DOUBLE_EQ(cost.arbitrationPropagations, 4.0);
+    const auto fixed = fixedPriorityCost(10, LineEncoding::kFull);
+    EXPECT_EQ(cost.arbitrationLines, 2 * fixed.arbitrationLines);
+}
+
+TEST(CostModelTest, PatternedStaticPartRecoversFcfsOverhead)
+{
+    // Paper footnote 3: patterned static lines make FCFS's arbitration
+    // delay nearly identical to RR's.
+    FcfsConfig config;
+    const auto patterned =
+        fcfsCost(10, config, LineEncoding::kBinaryPatterned);
+    RrConfig rr;
+    const auto rr_full = roundRobinCost(10, rr, LineEncoding::kFull);
+    EXPECT_DOUBLE_EQ(patterned.arbitrationPropagations, 3.0); // 4/2 + 1
+    EXPECT_NEAR(patterned.arbitrationPropagations,
+                rr_full.arbitrationPropagations, 0.5);
+}
+
+TEST(CostModelTest, FcfsControlLinesByStrategy)
+{
+    FcfsConfig strategy1;
+    strategy1.strategy = FcfsStrategy::kIncrementOnLose;
+    EXPECT_EQ(fcfsCost(10, strategy1, LineEncoding::kFull).controlLines,
+              1);
+    FcfsConfig strategy2;
+    strategy2.strategy = FcfsStrategy::kIncrLine;
+    EXPECT_EQ(fcfsCost(10, strategy2, LineEncoding::kFull).controlLines,
+              2);
+    FcfsConfig dual = strategy2;
+    dual.enablePriority = true;
+    dual.priorityCounting = PriorityCounting::kDualIncrLines;
+    const auto dual_cost = fcfsCost(10, dual, LineEncoding::kFull);
+    EXPECT_EQ(dual_cost.controlLines, 3);
+    EXPECT_EQ(dual_cost.arbitrationLines, 9); // + priority bit
+}
+
+TEST(CostModelTest, MultipleOutstandingAddsCounterBits)
+{
+    // Section 3.2: r = 8 outstanding -> 3 more counter lines.
+    FcfsConfig base;
+    FcfsConfig multi;
+    multi.maxOutstandingHint = 8;
+    const auto c_base = fcfsCost(10, base, LineEncoding::kFull);
+    const auto c_multi = fcfsCost(10, multi, LineEncoding::kFull);
+    EXPECT_EQ(c_multi.arbitrationLines - c_base.arbitrationLines, 3);
+}
+
+TEST(CostModelTest, DescribeIsReadable)
+{
+    const auto cost = roundRobinCost(10, RrConfig{},
+                                     LineEncoding::kBinaryPatterned);
+    const std::string text = describeCost(cost);
+    EXPECT_NE(text.find("broadcast"), std::string::npos);
+    EXPECT_NE(text.find("lines"), std::string::npos);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Differential tests: the distributed FCFS protocol against an oracle
+ * that sorts requests by (pulse epoch, static identity) — the order the
+ * hardware is specified to produce (Section 3.2).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fcfs.hh"
+#include "random/rng.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+/** A request the oracle tracks. */
+struct OracleRequest
+{
+    AgentId agent;
+    Tick issued;
+    std::uint64_t epoch;
+};
+
+/**
+ * Oracle for FCFS implementation 2: arrival epochs (pulse windows)
+ * ordered ascending; ties within an epoch by descending identity.
+ */
+class IncrLineOracle
+{
+  public:
+    explicit IncrLineOracle(Tick window) : window_(window) {}
+
+    void
+    post(AgentId agent, Tick now)
+    {
+        if (!any_ || now - lastPulse_ >= window_) {
+            ++epoch_;
+            lastPulse_ = now;
+            any_ = true;
+        }
+        pending_.push_back(OracleRequest{agent, now, epoch_});
+    }
+
+    AgentId
+    serveNext()
+    {
+        auto best = pending_.begin();
+        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->epoch < best->epoch ||
+                (it->epoch == best->epoch && it->agent > best->agent)) {
+                best = it;
+            }
+        }
+        const AgentId agent = best->agent;
+        pending_.erase(best);
+        return agent;
+    }
+
+    bool empty() const { return pending_.empty(); }
+
+  private:
+    Tick window_;
+    Tick lastPulse_ = 0;
+    bool any_ = false;
+    std::uint64_t epoch_ = 0;
+    std::vector<OracleRequest> pending_;
+};
+
+TEST(FcfsDifferentialTest, IncrLineMatchesEpochOracle)
+{
+    Rng rng(0xD1FF);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 3 + static_cast<int>(rng.below(10));
+        const Tick window = unitsToTicks(0.05);
+        FcfsConfig config;
+        config.strategy = FcfsStrategy::kIncrLine;
+        config.incrWindow = 0.05;
+        FcfsProtocol protocol(config);
+        ProtocolDriver driver(protocol, n);
+        IncrLineOracle oracle(window);
+
+        // Random bursts of arrivals (single-outstanding per agent),
+        // interleaved with arbitrations.
+        std::vector<bool> outstanding(static_cast<std::size_t>(n) + 1,
+                                      false);
+        Tick now = 0;
+        int pending = 0;
+        for (int step = 0; step < 300; ++step) {
+            now += static_cast<Tick>(rng.below(unitsToTicks(0.4)));
+            if (rng.below(100) < 55) {
+                const AgentId a = 1 + static_cast<AgentId>(rng.below(
+                                        static_cast<std::uint64_t>(n)));
+                if (!outstanding[static_cast<std::size_t>(a)]) {
+                    outstanding[static_cast<std::size_t>(a)] = true;
+                    driver.post(a, now);
+                    oracle.post(a, now);
+                    ++pending;
+                }
+            }
+            if (pending > 0 && rng.below(100) < 45) {
+                const AgentId got = driver.arbitrateAndServe(now);
+                const AgentId want = oracle.serveNext();
+                ASSERT_EQ(got, want)
+                    << "trial " << trial << " step " << step;
+                outstanding[static_cast<std::size_t>(got)] = false;
+                --pending;
+            }
+        }
+        // Drain.
+        while (pending > 0) {
+            now += unitsToTicks(1.0);
+            const AgentId got = driver.arbitrateAndServe(now);
+            const AgentId want = oracle.serveNext();
+            ASSERT_EQ(got, want) << "drain, trial " << trial;
+            --pending;
+        }
+        EXPECT_TRUE(oracle.empty());
+    }
+}
+
+TEST(FcfsDifferentialTest, CountersNeverExceedTheSingleOutstandingBound)
+{
+    // Section 3.2: with one outstanding request per agent, at most N
+    // requests can be served while a request waits, so ceil(log2(N+1))
+    // counter bits never overflow.
+    Rng rng(0xB0B);
+    const int n = 10;
+    FcfsConfig config;
+    config.strategy = FcfsStrategy::kIncrementOnLose;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, n);
+    std::vector<bool> outstanding(static_cast<std::size_t>(n) + 1, false);
+    int pending = 0;
+    Tick now = 0;
+    for (int step = 0; step < 4000; ++step) {
+        ++now;
+        const AgentId a = 1 + static_cast<AgentId>(
+                                rng.below(static_cast<std::uint64_t>(n)));
+        if (!outstanding[static_cast<std::size_t>(a)]) {
+            outstanding[static_cast<std::size_t>(a)] = true;
+            driver.post(a, now);
+            ++pending;
+        }
+        if (pending > 0 && rng.below(100) < 60) {
+            const AgentId got = driver.arbitrateAndServe(now);
+            outstanding[static_cast<std::size_t>(got)] = false;
+            --pending;
+        }
+    }
+    EXPECT_EQ(protocol.overflowEvents(), 0u);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit and property tests for the distributed FCFS protocol
+ * (both counter strategies of Section 3.2 and the extensions).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fcfs.hh"
+#include "random/rng.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+FcfsConfig
+configFor(FcfsStrategy strategy)
+{
+    FcfsConfig c;
+    c.strategy = strategy;
+    return c;
+}
+
+class FcfsStrategyTest : public ::testing::TestWithParam<FcfsStrategy>
+{
+};
+
+TEST_P(FcfsStrategyTest, SimultaneousArrivalsServedByIdentity)
+{
+    FcfsProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(3, 0);
+    driver.post(7, 0);
+    driver.post(5, 0);
+    // All tie on the counter: static identity order, highest first.
+    EXPECT_EQ(driver.arbitrateAndServe(1), 7);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 3);
+}
+
+TEST_P(FcfsStrategyTest, SingleRequesterAlwaysWins)
+{
+    FcfsProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 4);
+    for (int i = 0; i < 3; ++i) {
+        driver.post(1, i * 100);
+        EXPECT_EQ(driver.arbitrateAndServe(i * 100 + 1), 1);
+    }
+}
+
+TEST_P(FcfsStrategyTest, NoRequestsMeansIdle)
+{
+    FcfsProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EQ(driver.arbitrateAndServe(0), kNoAgent);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, FcfsStrategyTest,
+                         ::testing::Values(FcfsStrategy::kIncrementOnLose,
+                                           FcfsStrategy::kIncrLine));
+
+TEST(FcfsLoseCounterTest, EarlierIntervalBeatsLaterDespiteLowerId)
+{
+    // Agent 1 requests, loses one arbitration (counter 1); agent 8
+    // arrives afterwards (counter 0): agent 1 must win.
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrementOnLose));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(4, 0);
+    driver.post(1, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 4); // agent 1 loses, counter->1
+    driver.post(8, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 1);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 8);
+}
+
+TEST(FcfsLoseCounterTest, SameIntervalIsIdentityOrderNotArrivalOrder)
+{
+    // The strategy's known inaccuracy: two arrivals between the same two
+    // arbitrations tie even though one came first.
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrementOnLose));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);  // arrives first
+    driver.post(6, 50); // arrives second, same inter-arbitration interval
+    EXPECT_EQ(driver.arbitrateAndServe(100), 6);
+    EXPECT_EQ(protocol.tiedArrivals(), 1u);
+}
+
+TEST(FcfsIncrLineTest, ArrivalOrderRespectedAcrossPulseWindows)
+{
+    // With the a-incr line, arrivals in different pulse windows are
+    // ordered correctly even within one inter-arbitration interval.
+    FcfsConfig config = configFor(FcfsStrategy::kIncrLine);
+    config.incrWindow = 0.01;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);
+    driver.post(6, unitsToTicks(0.5)); // well past the pulse window
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(1.0)), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(2.0)), 6);
+    EXPECT_EQ(protocol.tiedArrivals(), 0u);
+}
+
+TEST(FcfsIncrLineTest, ArrivalsWithinOnePulseWindowTie)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrLine);
+    config.incrWindow = 0.05;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);
+    driver.post(6, unitsToTicks(0.01)); // inside agent 2's pulse
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(1.0)), 6);
+    EXPECT_EQ(protocol.tiedArrivals(), 1u);
+}
+
+TEST(FcfsIncrLineTest, BackToBackPulsesReopenTheWindow)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrLine);
+    config.incrWindow = 0.05;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);
+    driver.post(6, unitsToTicks(0.06)); // new pulse
+    driver.post(7, unitsToTicks(0.07)); // inside agent 6's pulse
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(1)), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(2)), 7); // tie: id
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(3)), 6);
+    EXPECT_EQ(protocol.tiedArrivals(), 1u);
+}
+
+TEST(FcfsOrderPropertyTest, WellSeparatedArrivalsServeInFcfsOrder)
+{
+    // Arrivals separated by more than the pulse window / one arbitration
+    // interval must be served exactly in arrival order by both
+    // strategies (arbitrating after each arrival).
+    for (auto strategy :
+         {FcfsStrategy::kIncrementOnLose, FcfsStrategy::kIncrLine}) {
+        FcfsProtocol protocol(configFor(strategy));
+        Rng rng(99);
+        for (int trial = 0; trial < 20; ++trial) {
+            ProtocolDriver driver(protocol, 10);
+            // Post 6 requests from distinct agents at separated times,
+            // with one arbitration between consecutive arrivals so the
+            // lose-counter strategy can order them too.
+            std::vector<AgentId> agents{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+            for (int i = 9; i > 0; --i)
+                std::swap(agents[static_cast<std::size_t>(i)],
+                          agents[rng.below(static_cast<std::uint64_t>(
+                              i + 1))]);
+            agents.resize(6);
+            Tick now = 0;
+            // A sacrificial long-lived competitor would distort the
+            // order; instead interleave arrivals with arbitrations of a
+            // growing queue and check the drain order afterwards.
+            for (std::size_t i = 0; i < agents.size(); ++i) {
+                now += unitsToTicks(1.0);
+                driver.post(agents[i], now);
+                // One arbitration between arrivals increments waiting
+                // counters but do not serve (no service modeled): here we
+                // must serve, so only check the final drain order below
+                // for the requests still pending.
+            }
+            std::vector<AgentId> served;
+            for (std::size_t i = 0; i < agents.size(); ++i) {
+                now += unitsToTicks(1.0);
+                served.push_back(driver.arbitrateAndServe(now));
+            }
+            // The lose-counter strategy ties all (no arbitration ran
+            // between arrivals), so only check incr-line for exact
+            // order; the tie case is covered elsewhere.
+            if (strategy == FcfsStrategy::kIncrLine) {
+                EXPECT_EQ(served, agents);
+            }
+        }
+    }
+}
+
+TEST(FcfsCounterWidthTest, DefaultWidthMatchesPaper)
+{
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrementOnLose));
+    protocol.reset(10);
+    EXPECT_EQ(protocol.counterBits(), 4); // ceil(log2(11))
+    EXPECT_EQ(protocol.numLines(), 8);    // id 4 + counter 4
+
+    FcfsConfig multi = configFor(FcfsStrategy::kIncrementOnLose);
+    multi.maxOutstandingHint = 8;
+    FcfsProtocol protocol8(multi);
+    protocol8.reset(10);
+    EXPECT_EQ(protocol8.counterBits(), 7); // + ceil(log2 8) = 3
+}
+
+TEST(FcfsCounterWidthTest, SaturationKeepsOldestGroupFirst)
+{
+    // 1-bit counter: counters clip to 1, so every request that has
+    // waited at least one event ties; identity breaks the tie, but a
+    // fresh request (counter 0) can never pass a waiting one.
+    FcfsConfig config = configFor(FcfsStrategy::kIncrementOnLose);
+    config.counterBits = 1;
+    config.overflow = OverflowPolicy::kSaturate;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(2, 0);
+    driver.post(3, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 3); // 2 loses twice -> sat.
+    driver.post(8, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 2); // still ahead of 8
+    EXPECT_EQ(driver.arbitrateAndServe(4), 8);
+    EXPECT_GE(protocol.overflowEvents(), 0u);
+}
+
+TEST(FcfsCounterWidthTest, WrapCanInvertOrder)
+{
+    // 1-bit wrapping counter: after two losses the counter reads 0
+    // again, letting a newer request with counter 1 overtake. This is
+    // the overflow hazard the paper accepts for rare priority bursts.
+    FcfsConfig config = configFor(FcfsStrategy::kIncrementOnLose);
+    config.counterBits = 1;
+    config.overflow = OverflowPolicy::kWrap;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    // Three requests; serve one per arbitration. Agent 2 loses twice:
+    // raw counter 2 wraps to 0.
+    driver.post(2, 0);
+    driver.post(5, 0);
+    driver.post(6, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 6);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 5);
+    driver.post(7, 3); // fresh, counter 0 -> loses to nothing...
+    // Agent 2 raw counter is 2 -> wrapped 0; tie with agent 7: id wins.
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+    EXPECT_EQ(protocol.overflowEvents(), 1u);
+}
+
+TEST(FcfsMultiOutstandingTest, OneAgentQueuesServedFifo)
+{
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrLine));
+    ProtocolDriver driver(protocol, 4);
+    const Request r1 = driver.post(2, 0);
+    driver.post(3, unitsToTicks(0.5));
+    const Request r2 = driver.post(2, unitsToTicks(1.0));
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(2)), 2);
+    EXPECT_EQ(driver.served().back().seq, r1.seq);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(3)), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(4)), 2);
+    EXPECT_EQ(driver.served().back().seq, r2.seq);
+}
+
+TEST(FcfsMultiOutstandingTest, GlobalFcfsAcrossAgentsWithQueues)
+{
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrLine));
+    ProtocolDriver driver(protocol, 4);
+    driver.post(1, unitsToTicks(1));
+    driver.post(2, unitsToTicks(2));
+    driver.post(1, unitsToTicks(3));
+    driver.post(3, unitsToTicks(4));
+    std::vector<AgentId> served;
+    for (int i = 0; i < 4; ++i)
+        served.push_back(driver.arbitrateAndServe(unitsToTicks(10 + i)));
+    EXPECT_EQ(served, (std::vector<AgentId>{1, 2, 1, 3}));
+}
+
+TEST(FcfsPriorityTest, PriorityClassAlwaysWins)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrementOnLose);
+    config.enablePriority = true;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(7, 0, false);
+    driver.post(6, 0, false);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 7);
+    // A later priority request jumps both waiting non-priority ones.
+    driver.post(2, 2, true);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 6);
+}
+
+TEST(FcfsPriorityTest, MatchedIncrementOnlyCountsOwnClass)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrementOnLose);
+    config.enablePriority = true;
+    config.priorityCounting = PriorityCounting::kMatchedIncrement;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    // Non-priority request waits through two priority services: its
+    // counter must not move (winner class differs).
+    driver.post(3, 0, false);
+    driver.post(5, 0, true);
+    driver.post(6, 0, true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 6);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 5);
+    // Fresh non-priority arrival: agent 3's counter stayed 0, so the
+    // higher identity 7 wins the tie.
+    driver.post(7, 3, false);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+    EXPECT_EQ(driver.arbitrateAndServe(5), 3);
+}
+
+TEST(FcfsPriorityTest, AlwaysIncrementCountsOtherClassToo)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrementOnLose);
+    config.enablePriority = true;
+    config.priorityCounting = PriorityCounting::kAlwaysIncrement;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(3, 0, false);
+    driver.post(5, 0, true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    driver.post(7, 2, false);
+    // Agent 3's counter advanced past agent 7's.
+    EXPECT_EQ(driver.arbitrateAndServe(3), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+}
+
+TEST(FcfsPriorityTest, DualIncrLinesKeepClassesIndependent)
+{
+    FcfsConfig config = configFor(FcfsStrategy::kIncrLine);
+    config.enablePriority = true;
+    config.priorityCounting = PriorityCounting::kDualIncrLines;
+    FcfsProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    // Non-priority request, then a burst of priority arrivals: the
+    // non-priority counter must not advance from priority pulses.
+    driver.post(3, 0, false);
+    driver.post(5, unitsToTicks(1), true);
+    driver.post(6, unitsToTicks(2), true);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(3)), 5);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(4)), 6);
+    driver.post(7, unitsToTicks(5), false);
+    // Non-priority stream pulsed once for 3 and once for 7: 3 is older.
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(6)), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(unitsToTicks(7)), 7);
+}
+
+TEST(FcfsDeathTest, InvalidConfigurations)
+{
+    FcfsConfig bad1 = configFor(FcfsStrategy::kIncrementOnLose);
+    bad1.enablePriority = true;
+    bad1.priorityCounting = PriorityCounting::kDualIncrLines;
+    EXPECT_EXIT(FcfsProtocol{bad1}, ::testing::ExitedWithCode(1),
+                "a-incr strategy");
+
+    FcfsConfig bad2 = configFor(FcfsStrategy::kIncrLine);
+    bad2.enablePriority = true;
+    bad2.priorityCounting = PriorityCounting::kMatchedIncrement;
+    EXPECT_EXIT(FcfsProtocol{bad2}, ::testing::ExitedWithCode(1),
+                "increment-on-");
+
+    FcfsProtocol protocol(configFor(FcfsStrategy::kIncrementOnLose));
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EXIT(driver.post(1, 0, true), ::testing::ExitedWithCode(1),
+                "enablePriority");
+}
+
+} // namespace
+} // namespace busarb

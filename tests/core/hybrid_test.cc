@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the Section 5 hybrid protocol (FCFS with round-robin
+ * tie-break among same-interval arrivals).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+TEST(HybridTest, FcfsAcrossIntervals)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(3, 0);
+    driver.post(2, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 3); // tie -> higher id first
+    driver.post(8, 2); // newer request
+    // Agent 2 waited through one arbitration: counter 1 beats 8's 0.
+    EXPECT_EQ(driver.arbitrateAndServe(3), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 8);
+}
+
+TEST(HybridTest, TiesUseRoundRobinNotIdentity)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    // Simultaneous arrivals 4 and 7 (same interval): plain FCFS would
+    // serve 7 first (identity). The hybrid's RR bit makes 4 (< last
+    // winner 5) go first.
+    driver.post(7, 2);
+    driver.post(4, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 4);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+}
+
+TEST(HybridTest, CounterStillDominatesRrBit)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 8);
+    driver.post(6, 0);
+    driver.post(2, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 6);
+    // Agent 2 has waited one arbitration; a fresh agent 3 with the RR
+    // bit set cannot pass it.
+    driver.post(3, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 3);
+}
+
+TEST(HybridTest, RoundRobinCycleAmongSimultaneousArrivals)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 5);
+    for (AgentId a = 1; a <= 5; ++a)
+        driver.post(a, 0);
+    std::vector<AgentId> order;
+    for (int i = 0; i < 5; ++i)
+        order.push_back(driver.arbitrateAndServe(1 + i));
+    // All five tie on the counter each round? No: after the first
+    // arbitration the four losers carry counter 1 and stay ahead of
+    // nobody new; among themselves the RR bit relative to the last
+    // winner orders them. The result is the round-robin scan.
+    EXPECT_EQ(order, (std::vector<AgentId>{5, 4, 3, 2, 1}));
+}
+
+TEST(HybridTest, RecordedWinnerTracksArbitrations)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EQ(protocol.recordedWinner(), 5);
+    driver.post(1, 0);
+    driver.arbitrateAndServe(1);
+    EXPECT_EQ(protocol.recordedWinner(), 1);
+}
+
+TEST(HybridDeathTest, NoPrioritySupport)
+{
+    HybridProtocol protocol;
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_DEATH(driver.post(1, 0, true), "priority");
+}
+
+} // namespace
+} // namespace busarb

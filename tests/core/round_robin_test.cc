@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit and property tests for the distributed round-robin protocol
+ * (all three implementations of Section 3.1).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/round_robin.hh"
+#include "random/rng.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+RrConfig
+configFor(RrImplementation impl)
+{
+    RrConfig c;
+    c.impl = impl;
+    return c;
+}
+
+class RrImplTest : public ::testing::TestWithParam<RrImplementation>
+{
+};
+
+TEST_P(RrImplTest, FirstArbitrationHighestIdentityWins)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(3, 0);
+    driver.post(7, 0);
+    driver.post(5, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(10), 7);
+}
+
+TEST_P(RrImplTest, ScanDescendsThenWraps)
+{
+    // With every agent requesting, service order is N, N-1, ..., 1, N...
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 5);
+    for (AgentId a = 1; a <= 5; ++a)
+        driver.post(a, 0);
+    std::vector<AgentId> order;
+    for (int i = 0; i < 5; ++i) {
+        order.push_back(driver.arbitrateAndServe(10 + i));
+        driver.post(order.back(), 10 + i); // re-request immediately
+    }
+    EXPECT_EQ(order, (std::vector<AgentId>{5, 4, 3, 2, 1}));
+    // Next full cycle repeats.
+    std::vector<AgentId> order2;
+    for (int i = 0; i < 5; ++i) {
+        order2.push_back(driver.arbitrateAndServe(20 + i));
+        driver.post(order2.back(), 20 + i);
+    }
+    EXPECT_EQ(order2, (std::vector<AgentId>{5, 4, 3, 2, 1}));
+}
+
+TEST_P(RrImplTest, JustServedAgentGoesToTheBack)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 4);
+    driver.post(3, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 3);
+    // Agent 3 re-requests together with agent 4; after serving 3 the
+    // scan position is at 2, so 2 (below) is ahead of 4... none below
+    // requested -> wrap: 4 first, then 3 last.
+    driver.post(3, 2);
+    driver.post(4, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 4);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 3);
+}
+
+TEST_P(RrImplTest, LowerIdentityHasPriorityAfterWinner)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    // 4 < 5 beats 7 > 5 even though 7 has the bigger identity.
+    driver.post(7, 2);
+    driver.post(4, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 4);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+}
+
+TEST_P(RrImplTest, SingleRequesterAlwaysWins)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 6);
+    for (int i = 0; i < 4; ++i) {
+        driver.post(2, i * 10);
+        EXPECT_EQ(driver.arbitrateAndServe(i * 10 + 1), 2);
+    }
+}
+
+TEST_P(RrImplTest, NoRequestsMeansIdle)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EQ(driver.arbitrateAndServe(0), kNoAgent);
+    EXPECT_FALSE(protocol.wantsPass());
+}
+
+TEST_P(RrImplTest, RecordedWinnerTracksArbitrations)
+{
+    RoundRobinProtocol protocol(configFor(GetParam()));
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EQ(protocol.recordedWinner(), 5); // N+1 initially
+    driver.post(2, 0);
+    driver.arbitrateAndServe(1);
+    EXPECT_EQ(protocol.recordedWinner(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, RrImplTest,
+    ::testing::Values(RrImplementation::kPriorityBit,
+                      RrImplementation::kLowRequestLine,
+                      RrImplementation::kNoExtraLine));
+
+TEST(RrEquivalenceTest, AllThreeImplementationsProduceTheSameSchedule)
+{
+    // Random request patterns posted identically to all three
+    // implementations, arbitrated in lock-step: every winner sequence
+    // must match (they all implement true round-robin).
+    Rng rng(2024);
+    for (int trial = 0; trial < 30; ++trial) {
+        RoundRobinProtocol p1(configFor(RrImplementation::kPriorityBit));
+        RoundRobinProtocol p2(configFor(RrImplementation::kLowRequestLine));
+        RoundRobinProtocol p3(configFor(RrImplementation::kNoExtraLine));
+        const int n = 2 + static_cast<int>(rng.below(9));
+        ProtocolDriver d1(p1, n), d2(p2, n), d3(p3, n);
+        std::vector<int> outstanding(static_cast<std::size_t>(n) + 1, 0);
+        Tick now = 0;
+        for (int step = 0; step < 200; ++step) {
+            ++now;
+            if (rng.below(100) < 60) {
+                const AgentId a = 1 + static_cast<AgentId>(rng.below(
+                                        static_cast<std::uint64_t>(n)));
+                if (outstanding[static_cast<std::size_t>(a)] == 0) {
+                    ++outstanding[static_cast<std::size_t>(a)];
+                    d1.post(a, now);
+                    d2.post(a, now);
+                    d3.post(a, now);
+                }
+            }
+            if (rng.below(100) < 50) {
+                const AgentId w1 = d1.arbitrateAndServe(now);
+                const AgentId w2 = d2.arbitrateAndServe(now);
+                const AgentId w3 = d3.arbitrateAndServe(now);
+                ASSERT_EQ(w1, w2) << "impl1 vs impl2, trial " << trial;
+                ASSERT_EQ(w1, w3) << "impl1 vs impl3, trial " << trial;
+                if (w1 != kNoAgent)
+                    --outstanding[static_cast<std::size_t>(w1)];
+            }
+        }
+    }
+}
+
+TEST(RrImpl3Test, WrapConsumesARetryPass)
+{
+    RoundRobinProtocol protocol(configFor(RrImplementation::kNoExtraLine));
+    ProtocolDriver driver(protocol, 4);
+    driver.post(2, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 2);
+    // Now recordedWinner = 2; a request from 3 (>= 2) needs the wrap.
+    driver.post(3, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 3);
+    EXPECT_EQ(driver.retries(), 1);
+}
+
+TEST(RrImpl12Test, NoRetryPassesEver)
+{
+    for (auto impl : {RrImplementation::kPriorityBit,
+                      RrImplementation::kLowRequestLine}) {
+        RoundRobinProtocol protocol(configFor(impl));
+        ProtocolDriver driver(protocol, 4);
+        driver.post(2, 0);
+        driver.arbitrateAndServe(1);
+        driver.post(3, 2);
+        driver.arbitrateAndServe(3);
+        EXPECT_EQ(driver.retries(), 0);
+    }
+}
+
+TEST(RrPriorityTest, PriorityRequestsBeatNonPriority)
+{
+    RrConfig config;
+    config.impl = RrImplementation::kPriorityBit;
+    config.enablePriority = true;
+    RoundRobinProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(7, 0, /*priority=*/false);
+    driver.post(2, 0, /*priority=*/true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 2);
+    EXPECT_EQ(driver.arbitrateAndServe(2), 7);
+}
+
+TEST(RrPriorityTest, RoundRobinWithinPriorityClass)
+{
+    RrConfig config;
+    config.impl = RrImplementation::kPriorityBit;
+    config.enablePriority = true;
+    config.rrWithinPriorityClass = true;
+    RoundRobinProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 0, true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    // Among priority requests, RR order applies: 4 < 5 beats 7.
+    driver.post(7, 2, true);
+    driver.post(4, 2, true);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 4);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 7);
+}
+
+TEST(RrPriorityTest, IgnoringRrWithinClassServesByIdentity)
+{
+    RrConfig config;
+    config.impl = RrImplementation::kPriorityBit;
+    config.enablePriority = true;
+    config.rrWithinPriorityClass = false;
+    RoundRobinProtocol protocol(config);
+    ProtocolDriver driver(protocol, 8);
+    driver.post(5, 0, true);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 5);
+    driver.post(7, 2, true);
+    driver.post(4, 2, true);
+    // Both assert the RR bit: plain identity order.
+    EXPECT_EQ(driver.arbitrateAndServe(3), 7);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 4);
+}
+
+TEST(RrConfigTest, LineCountsPerImplementation)
+{
+    RoundRobinProtocol p1(configFor(RrImplementation::kPriorityBit));
+    p1.reset(10); // 4 id bits
+    EXPECT_EQ(p1.numLines(), 5); // + rr bit
+    RoundRobinProtocol p2(configFor(RrImplementation::kLowRequestLine));
+    p2.reset(10);
+    EXPECT_EQ(p2.numLines(), 4);
+    RoundRobinProtocol p3(configFor(RrImplementation::kNoExtraLine));
+    p3.reset(10);
+    EXPECT_EQ(p3.numLines(), 4);
+}
+
+TEST(RrDeathTest, PriorityUnsupportedOutsideImpl1)
+{
+    RrConfig config;
+    config.impl = RrImplementation::kLowRequestLine;
+    config.enablePriority = true;
+    EXPECT_EXIT(RoundRobinProtocol{config},
+                ::testing::ExitedWithCode(1), "implementation 1");
+}
+
+TEST(RrDeathTest, PriorityRequestWithoutEnable)
+{
+    RoundRobinProtocol protocol(configFor(RrImplementation::kPriorityBit));
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_EXIT(driver.post(1, 0, true), ::testing::ExitedWithCode(1),
+                "enablePriority");
+}
+
+} // namespace
+} // namespace busarb

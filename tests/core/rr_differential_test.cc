@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Differential tests: all three RR implementations against a trivial
+ * cyclic-scan oracle.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/round_robin.hh"
+#include "random/rng.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+/**
+ * Oracle: true round-robin. After serving j, scan j-1..1 then N..j and
+ * serve the first requester found.
+ */
+class RrOracle
+{
+  public:
+    explicit RrOracle(int n)
+        : n_(n), pending_(static_cast<std::size_t>(n) + 1, false)
+    {
+    }
+
+    void post(AgentId a) { pending_[static_cast<std::size_t>(a)] = true; }
+
+    AgentId
+    serveNext()
+    {
+        const AgentId pivot = (last_ == 0) ? n_ + 1 : last_;
+        // Scan pivot-1 .. 1.
+        for (AgentId a = pivot - 1; a >= 1; --a) {
+            if (pending_[static_cast<std::size_t>(a)])
+                return take(a);
+        }
+        // Then N .. pivot.
+        for (AgentId a = n_; a >= pivot; --a) {
+            if (a <= n_ && pending_[static_cast<std::size_t>(a)])
+                return take(a);
+        }
+        return kNoAgent;
+    }
+
+  private:
+    AgentId
+    take(AgentId a)
+    {
+        pending_[static_cast<std::size_t>(a)] = false;
+        last_ = a;
+        return a;
+    }
+
+    int n_;
+    AgentId last_ = 0;
+    std::vector<bool> pending_;
+};
+
+class RrDifferentialTest
+    : public ::testing::TestWithParam<RrImplementation>
+{
+};
+
+TEST_P(RrDifferentialTest, MatchesCyclicScanOracle)
+{
+    Rng rng(0xCAFE + static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 2 + static_cast<int>(rng.below(14));
+        RrConfig config;
+        config.impl = GetParam();
+        RoundRobinProtocol protocol(config);
+        ProtocolDriver driver(protocol, n);
+        RrOracle oracle(n);
+        std::vector<bool> outstanding(static_cast<std::size_t>(n) + 1,
+                                      false);
+        int pending = 0;
+        Tick now = 0;
+        for (int step = 0; step < 400; ++step) {
+            ++now;
+            if (rng.below(100) < 55) {
+                const AgentId a = 1 + static_cast<AgentId>(rng.below(
+                                        static_cast<std::uint64_t>(n)));
+                if (!outstanding[static_cast<std::size_t>(a)]) {
+                    outstanding[static_cast<std::size_t>(a)] = true;
+                    driver.post(a, now);
+                    oracle.post(a);
+                    ++pending;
+                }
+            }
+            if (pending > 0 && rng.below(100) < 45) {
+                const AgentId got = driver.arbitrateAndServe(now);
+                const AgentId want = oracle.serveNext();
+                ASSERT_EQ(got, want)
+                    << "impl " << static_cast<int>(GetParam())
+                    << " trial " << trial << " step " << step;
+                outstanding[static_cast<std::size_t>(got)] = false;
+                --pending;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplementations, RrDifferentialTest,
+    ::testing::Values(RrImplementation::kPriorityBit,
+                      RrImplementation::kLowRequestLine,
+                      RrImplementation::kNoExtraLine));
+
+} // namespace
+} // namespace busarb

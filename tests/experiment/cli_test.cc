@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiment/cli.hh"
+
+namespace busarb {
+namespace {
+
+ArgParser
+makeParser()
+{
+    ArgParser parser("prog", "test program");
+    parser.addStringFlag("name", "default", "a string");
+    parser.addIntFlag("count", 7, "an int");
+    parser.addDoubleFlag("rate", 1.5, "a double");
+    parser.addBoolFlag("verbose", false, "a bool");
+    return parser;
+}
+
+bool
+parse(ArgParser &parser, std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return parser.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParserTest, DefaultsApplyWithoutArguments)
+{
+    auto parser = makeParser();
+    EXPECT_TRUE(parse(parser, {}));
+    EXPECT_EQ(parser.getString("name"), "default");
+    EXPECT_EQ(parser.getInt("count"), 7);
+    EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 1.5);
+    EXPECT_FALSE(parser.getBool("verbose"));
+}
+
+TEST(ArgParserTest, SpaceSeparatedValues)
+{
+    auto parser = makeParser();
+    EXPECT_TRUE(parse(parser, {"--name", "abc", "--count", "42",
+                               "--rate", "0.25"}));
+    EXPECT_EQ(parser.getString("name"), "abc");
+    EXPECT_EQ(parser.getInt("count"), 42);
+    EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 0.25);
+}
+
+TEST(ArgParserTest, EqualsSeparatedValues)
+{
+    auto parser = makeParser();
+    EXPECT_TRUE(parse(parser, {"--name=xyz", "--count=-3",
+                               "--rate=2.5e-1", "--verbose=true"}));
+    EXPECT_EQ(parser.getString("name"), "xyz");
+    EXPECT_EQ(parser.getInt("count"), -3);
+    EXPECT_DOUBLE_EQ(parser.getDouble("rate"), 0.25);
+    EXPECT_TRUE(parser.getBool("verbose"));
+}
+
+TEST(ArgParserTest, BareBoolFlagMeansTrue)
+{
+    auto parser = makeParser();
+    EXPECT_TRUE(parse(parser, {"--verbose"}));
+    EXPECT_TRUE(parser.getBool("verbose"));
+}
+
+TEST(ArgParserTest, BoolFlagCanBeSetFalse)
+{
+    ArgParser parser("prog", "test");
+    parser.addBoolFlag("feature", true, "on by default");
+    std::vector<const char *> args{"prog", "--feature=false"};
+    EXPECT_TRUE(parser.parse(2, args.data()));
+    EXPECT_FALSE(parser.getBool("feature"));
+}
+
+TEST(ArgParserTest, PositionalArgumentsCollected)
+{
+    auto parser = makeParser();
+    EXPECT_TRUE(parse(parser, {"input.txt", "--count", "3", "more"}));
+    EXPECT_EQ(parser.positional(),
+              (std::vector<std::string>{"input.txt", "more"}));
+}
+
+TEST(ArgParserTest, HelpStopsParsing)
+{
+    auto parser = makeParser();
+    ::testing::internal::CaptureStdout();
+    EXPECT_FALSE(parse(parser, {"--help"}));
+    const std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_EQ(parser.exitCode(), 0);
+    EXPECT_NE(out.find("--count <int>"), std::string::npos);
+    EXPECT_NE(out.find("test program"), std::string::npos);
+}
+
+TEST(ArgParserTest, UnknownFlagFails)
+{
+    auto parser = makeParser();
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(parse(parser, {"--nope"}));
+    (void)::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(parser.exitCode(), 2);
+}
+
+TEST(ArgParserTest, TypeErrorsFail)
+{
+    {
+        auto parser = makeParser();
+        ::testing::internal::CaptureStderr();
+        EXPECT_FALSE(parse(parser, {"--count", "seven"}));
+        (void)::testing::internal::GetCapturedStderr();
+        EXPECT_EQ(parser.exitCode(), 2);
+    }
+    {
+        auto parser = makeParser();
+        ::testing::internal::CaptureStderr();
+        EXPECT_FALSE(parse(parser, {"--rate", "fast"}));
+        (void)::testing::internal::GetCapturedStderr();
+    }
+    {
+        // A bare bool flag never consumes the next token, so the bad
+        // value must come via '='.
+        auto parser = makeParser();
+        ::testing::internal::CaptureStderr();
+        EXPECT_FALSE(parse(parser, {"--verbose=maybe"}));
+        (void)::testing::internal::GetCapturedStderr();
+    }
+}
+
+TEST(ArgParserTest, MissingValueFails)
+{
+    auto parser = makeParser();
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(parse(parser, {"--count"}));
+    (void)::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(parser.exitCode(), 2);
+}
+
+TEST(ArgParserTest, HelpTextListsAllFlags)
+{
+    auto parser = makeParser();
+    const std::string help = parser.helpText();
+    for (const char *needle :
+         {"--name <string>", "--count <int>", "--rate <number>",
+          "--verbose [true|false]", "--help"}) {
+        EXPECT_NE(help.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ArgParserDeathTest, MisuseIsCaught)
+{
+    auto parser = makeParser();
+    EXPECT_DEATH(parser.getString("undeclared"), "undeclared");
+    EXPECT_DEATH(parser.getInt("name"), "wrong type");
+    ArgParser dup("prog", "x");
+    dup.addIntFlag("a", 1, "h");
+    EXPECT_DEATH(dup.addIntFlag("a", 2, "h"), "twice");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the timeline probe.
+ */
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fixed_priority.hh"
+#include "experiment/timeline.hh"
+#include "sim/event_queue.hh"
+
+namespace busarb {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(TimelineProbeTest, SamplesAtFixedWindows)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    TimelineProbe probe(queue, bus, /*window=*/1.0);
+    probe.start();
+    queue.schedule(0, [&] { bus.postRequest(1); });
+    // Keep the clock alive long enough for several windows.
+    queue.schedule(5 * U, [] {});
+    queue.run(5 * U);
+    ASSERT_GE(probe.samples().size(), 4u);
+    EXPECT_DOUBLE_EQ(probe.samples()[0].time, 1.0);
+    EXPECT_DOUBLE_EQ(probe.samples()[1].time, 2.0);
+}
+
+TEST(TimelineProbeTest, TracksBacklogAndUtilization)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 4, {});
+    TimelineProbe probe(queue, bus, 1.0);
+    probe.start();
+    // Burst of 4 requests at t = 0: service at 0.5, 1.5, 2.5, 3.5.
+    queue.schedule(0, [&] {
+        for (AgentId a = 1; a <= 4; ++a)
+            bus.postRequest(a);
+    });
+    queue.schedule(6 * U, [] {});
+    queue.run(6 * U);
+    const auto &samples = probe.samples();
+    ASSERT_GE(samples.size(), 5u);
+    // At t = 1 three requests remain outstanding (one served at 0.5-1.5
+    // still counts as outstanding until completion at 1.5).
+    EXPECT_EQ(samples[0].outstanding, 4u);
+    // The backlog drains one per unit.
+    EXPECT_EQ(samples[1].outstanding, 3u);
+    EXPECT_EQ(samples[2].outstanding, 2u);
+    // Utilization is 1 while draining, 0 once idle.
+    EXPECT_GT(samples[1].utilization, 0.99);
+    EXPECT_DOUBLE_EQ(samples[5].utilization, 0.0);
+    EXPECT_EQ(probe.peakOutstanding(), 4u);
+}
+
+TEST(TimelineProbeTest, MaxSamplesStopsTheProbe)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    TimelineProbe probe(queue, bus, 0.5, /*max_samples=*/3);
+    probe.start();
+    queue.schedule(10 * U, [] {});
+    queue.run(10 * U);
+    EXPECT_EQ(probe.samples().size(), 3u);
+}
+
+TEST(TimelineProbeTest, CsvOutput)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    TimelineProbe probe(queue, bus, 1.0, 2);
+    probe.start();
+    queue.schedule(3 * U, [] {});
+    queue.run(3 * U);
+    std::ostringstream os;
+    probe.writeCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("time,outstanding,utilization,completed"),
+              std::string::npos);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+} // namespace
+} // namespace busarb

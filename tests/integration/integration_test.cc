@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Integration tests: the paper's qualitative claims, verified end-to-end
+ * through the full simulation stack.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "workload/scenario.hh"
+
+namespace busarb {
+namespace {
+
+ScenarioConfig
+fastScenario(int n, double load, double cv = 1.0)
+{
+    ScenarioConfig config = equalLoadScenario(n, load, cv);
+    config.numBatches = 5;
+    config.batchSize = 1500;
+    config.warmup = 1500;
+    return config;
+}
+
+TEST(ConservationLawTest, MeanWaitIsProtocolIndependent)
+{
+    // Kleinrock's conservation law (paper, footnote 4): for
+    // work-conserving non-preemptive disciplines whose order does not
+    // depend on service times, the mean wait is the same. RR, FCFS, and
+    // both AAPs must agree.
+    const auto config = fastScenario(10, 1.5);
+    double reference = 0.0;
+    for (const char *key : {"rr1", "fcfs1", "fcfs2", "aap1", "aap2",
+                            "hybrid", "central-rr", "central-fcfs",
+                            "ticket"}) {
+        const auto result = runScenario(config, protocolByKey(key));
+        const double w = result.meanWait().value;
+        if (reference == 0.0)
+            reference = w;
+        EXPECT_NEAR(w, reference, 0.06 * reference) << key;
+    }
+}
+
+TEST(WorkConservationTest, SaturatedBusNeverIdles)
+{
+    // Even at total load 2.5 there are rare instants when all ten
+    // agents think simultaneously, exposing one arbitration overhead;
+    // utilization must still be within a fraction of a percent of 1.
+    const auto config = fastScenario(10, 2.5);
+    for (const char *key : {"rr1", "rr3", "fcfs1", "aap1", "aap2"}) {
+        const auto result = runScenario(config, protocolByKey(key));
+        EXPECT_NEAR(result.utilization().value, 1.0, 2e-3) << key;
+    }
+}
+
+TEST(FairnessTest, RoundRobinIsPerfectlyFair)
+{
+    const auto config = fastScenario(10, 2.0);
+    for (const char *key : {"rr1", "rr2", "rr3", "central-rr"}) {
+        const auto result = runScenario(config, protocolByKey(key));
+        const Estimate ratio = result.throughputRatio(10, 1);
+        EXPECT_NEAR(ratio.value, 1.0, 0.05) << key;
+    }
+}
+
+TEST(FairnessTest, FcfsImpl1SlightBiasTowardHighIdentities)
+{
+    // Table 4.1: the simple FCFS implementation favours high identities
+    // by at most ~6-9% near saturation — far less than the AAPs.
+    const auto config = fastScenario(10, 2.0);
+    const auto result = runScenario(config, protocolByKey("fcfs1"));
+    const Estimate ratio = result.throughputRatio(10, 1);
+    EXPECT_GT(ratio.value, 1.0);
+    EXPECT_LT(ratio.value, 1.18);
+}
+
+TEST(FairnessTest, HybridRemovesFcfsTieBias)
+{
+    // The Section 5 hybrid uses RR among same-interval arrivals, so the
+    // static-identity bias of plain FCFS disappears.
+    const auto config = fastScenario(10, 2.0);
+    const auto result = runScenario(config, protocolByKey("hybrid"));
+    const Estimate ratio = result.throughputRatio(10, 1);
+    EXPECT_NEAR(ratio.value, 1.0, 0.06);
+}
+
+TEST(FairnessTest, AapsAreSubstantiallyUnfair)
+{
+    const auto config = fastScenario(10, 5.0);
+    for (const char *key : {"aap1", "aap2"}) {
+        const auto result = runScenario(config, protocolByKey(key));
+        const Estimate ratio = result.throughputRatio(10, 1);
+        EXPECT_GT(ratio.value, 1.15) << key;
+    }
+}
+
+TEST(FairnessTest, FixedPriorityStarvesLowIdentities)
+{
+    // Agent 1 can be starved outright (zero completions in a batch), so
+    // compare per-agent throughput estimates instead of per-batch
+    // ratios.
+    const auto config = fastScenario(10, 2.5);
+    const auto result = runScenario(config, protocolByKey("fixed"));
+    const double high = result.agentThroughput(10).value;
+    const double low = result.agentThroughput(1).value;
+    EXPECT_GT(high, 3.0 * low + 1e-9);
+    // The top identity keeps most of its demand (0.25 offered): it
+    // waits at most through the tenure in progress plus one already-
+    // granted tenure, so its cycle stays short.
+    EXPECT_GT(high, 0.15);
+}
+
+TEST(VarianceTest, FcfsHasLowerWaitVarianceThanRr)
+{
+    // Sharma & Ahuja: FCFS minimizes waiting-time variance. Table 4.2
+    // shows sigma_RR / sigma_FCFS well above 1 at high load.
+    const auto config = fastScenario(10, 2.0);
+    const auto rr = runScenario(config, protocolByKey("rr1"));
+    const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+    EXPECT_GT(rr.waitStddev().value, 1.3 * fcfs.waitStddev().value);
+    EXPECT_NEAR(rr.meanWait().value, fcfs.meanWait().value,
+                0.05 * rr.meanWait().value);
+}
+
+TEST(ScheduleEquivalenceTest, DistributedRrEqualsCentralRr)
+{
+    // "The RR protocol implements true round-robin scheduling,
+    // identical to the central round-robin arbiter."
+    auto config = fastScenario(8, 2.0);
+    config.numBatches = 2;
+    config.batchSize = 2000;
+    for (const char *key : {"rr1", "rr2"}) {
+        const auto distributed = runScenario(config, protocolByKey(key));
+        const auto central =
+            runScenario(config, protocolByKey("central-rr"));
+        ASSERT_EQ(distributed.batches.size(), central.batches.size());
+        for (std::size_t b = 0; b < distributed.batches.size(); ++b) {
+            EXPECT_EQ(distributed.batches[b].completions,
+                      central.batches[b].completions)
+                << key << " batch " << b;
+            EXPECT_DOUBLE_EQ(distributed.batches[b].waitMean,
+                             central.batches[b].waitMean)
+                << key << " batch " << b;
+        }
+    }
+}
+
+TEST(ScheduleEquivalenceTest, FcfsIncrLineTracksCentralFcfs)
+{
+    // With a vanishing pulse window, FCFS implementation 2 is exact
+    // FCFS except for same-tick ties; waiting-time statistics must be
+    // statistically indistinguishable from the central reference.
+    auto config = fastScenario(8, 2.0);
+    FcfsConfig fcfs_config;
+    fcfs_config.strategy = FcfsStrategy::kIncrLine;
+    fcfs_config.incrWindow = 1e-6;
+    const auto distributed =
+        runScenario(config, makeFcfsFactory(fcfs_config));
+    const auto central = runScenario(config, protocolByKey("central-fcfs"));
+    EXPECT_NEAR(distributed.meanWait().value, central.meanWait().value,
+                0.02 * central.meanWait().value);
+    EXPECT_NEAR(distributed.waitStddev().value,
+                central.waitStddev().value,
+                0.05 * central.waitStddev().value);
+}
+
+TEST(WorstCaseTest, JustMissHalvesSlowAgentThroughputAtCvZero)
+{
+    // Table 4.5: deterministic inter-request times let the slow agent
+    // repeatedly just miss its RR turn -> it is served every other
+    // cycle and gets ~0.5x the throughput of the others.
+    ScenarioConfig config = worstCaseRrScenario(10, 0.0);
+    config.numBatches = 5;
+    config.batchSize = 1500;
+    config.warmup = 1500;
+    const auto result = runScenario(config, protocolByKey("rr1"));
+    const Estimate ratio = result.throughputRatio(1, 2);
+    EXPECT_NEAR(ratio.value, 0.5, 0.05);
+}
+
+TEST(WorstCaseTest, SmallVariabilityRestoresFairShare)
+{
+    // Table 4.5: already at CV = 0.25 the just-miss effect vanishes and
+    // the ratio returns to the offered-load ratio (~0.70 for N = 10).
+    ScenarioConfig config = worstCaseRrScenario(10, 0.25);
+    config.numBatches = 5;
+    config.batchSize = 1500;
+    config.warmup = 1500;
+    const auto result = runScenario(config, protocolByKey("rr1"));
+    const Estimate ratio = result.throughputRatio(1, 2);
+    EXPECT_GT(ratio.value, 0.62);
+}
+
+TEST(FcfsWorstCaseTest, SynchronizedArrivalsCannotPersist)
+{
+    // Section 4.5 sketches a worst case for FCFS — all agents
+    // re-requesting within the same counter interval every time — and
+    // declines to pursue it as "equally as contrived, if not more so".
+    // This test shows why it cannot even be sustained: identical
+    // deterministic think times synchronize only the FIRST round;
+    // after that, service completions are staggered one transaction
+    // apart, so re-requests land in distinct counter intervals and
+    // true FCFS order (equal per-agent waits) re-emerges.
+    ScenarioConfig config = equalLoadScenario(10, 5.0, /*cv=*/0.0);
+    config.numBatches = 5;
+    config.batchSize = 1500;
+    config.warmup = 1500;
+    const auto result = runScenario(config, protocolByKey("fcfs1"));
+    EXPECT_NEAR(result.throughputRatio(10, 1).value, 1.0, 0.02);
+    EXPECT_NEAR(result.agentMeanWait(1).value,
+                result.agentMeanWait(10).value, 0.5);
+}
+
+TEST(RetryCostTest, OnlyImpl3AndAap2PayRetryPasses)
+{
+    const auto config = fastScenario(8, 1.5);
+    EXPECT_DOUBLE_EQ(
+        runScenario(config, protocolByKey("rr1")).retryPassFraction().value,
+        0.0);
+    EXPECT_DOUBLE_EQ(
+        runScenario(config, protocolByKey("rr2")).retryPassFraction().value,
+        0.0);
+    EXPECT_GT(
+        runScenario(config, protocolByKey("rr3")).retryPassFraction().value,
+        0.0);
+    EXPECT_GT(runScenario(config, protocolByKey("aap2"))
+                  .retryPassFraction()
+                  .value,
+              0.0);
+}
+
+TEST(MultiOutstandingTest, FcfsHandlesQueuedTokens)
+{
+    ScenarioConfig config = fastScenario(6, 0.9);
+    for (auto &traits : config.agents)
+        traits.maxOutstanding = 4;
+    FcfsConfig fcfs_config;
+    fcfs_config.strategy = FcfsStrategy::kIncrLine;
+    fcfs_config.maxOutstandingHint = 4;
+    const auto result = runScenario(config, makeFcfsFactory(fcfs_config));
+    EXPECT_NEAR(result.utilization().value,
+                result.throughput().value, 1e-9);
+    EXPECT_GT(result.throughput().value, 0.8);
+}
+
+TEST(UnequalLoadTest, LowLoadBandwidthProportionalToDemand)
+{
+    // Table 4.4 top rows: at low load both protocols allocate bandwidth
+    // in proportion to request rates (ratio = 2 for the double-rate
+    // agent).
+    ScenarioConfig config = unequalLoadScenario(10, 0.05, 2.0);
+    config.numBatches = 5;
+    config.batchSize = 1500;
+    config.warmup = 1500;
+    for (const char *key : {"rr1", "fcfs1"}) {
+        const auto result = runScenario(config, protocolByKey(key));
+        EXPECT_NEAR(result.throughputRatio(1, 2).value, 2.0, 0.25) << key;
+    }
+}
+
+TEST(UnequalLoadTest, SaturationEvensOutRrMoreThanFcfs)
+{
+    // Table 4.4: at high load RR pushes the ratio toward 1 faster,
+    // while FCFS keeps serving more in proportion to demand.
+    ScenarioConfig config = unequalLoadScenario(10, 0.2, 2.0);
+    config.numBatches = 6;
+    config.batchSize = 2000;
+    config.warmup = 2000;
+    const auto rr = runScenario(config, protocolByKey("rr1"));
+    const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+    EXPECT_LT(rr.throughputRatio(1, 2).value,
+              fcfs.throughputRatio(1, 2).value + 0.02);
+    EXPECT_LT(rr.throughputRatio(1, 2).value, 1.5);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+namespace {
+
+TEST(LoggingDeathTest, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(BUSARB_PANIC("broken invariant x=", 42),
+                 "panic: broken invariant x=42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(BUSARB_FATAL("bad config: ", "oops"),
+                ::testing::ExitedWithCode(1), "fatal: bad config: oops");
+}
+
+TEST(LoggingDeathTest, AssertPassesAndFails)
+{
+    BUSARB_ASSERT(1 + 1 == 2, "never printed");
+    EXPECT_DEATH(BUSARB_ASSERT(false, "value was ", 7),
+                 "assertion 'false' failed: value was 7");
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    ::testing::internal::CaptureStderr();
+    BUSARB_WARN("something odd: ", 3.5);
+    BUSARB_INFORM("status ", "ok");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("warn: something odd: 3.5"), std::string::npos);
+    EXPECT_NE(err.find("info: status ok"), std::string::npos);
+}
+
+TEST(LoggingTest, FormatMessageConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::formatMessage("a=", 1, " b=", 2.5, " c=", 'x'),
+              "a=1 b=2.5 c=x");
+    EXPECT_EQ(detail::formatMessage(), "");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for tick/unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace busarb {
+namespace {
+
+TEST(TypesTest, UnitConversionExactForPaperConstants)
+{
+    // The paper's 0.5-unit arbitration overhead and the n - 0.5 / n - 3.6
+    // worst-case think times must be exact.
+    EXPECT_EQ(unitsToTicks(1.0), kTicksPerUnit);
+    EXPECT_EQ(unitsToTicks(0.5), kTicksPerUnit / 2);
+    EXPECT_EQ(unitsToTicks(9.5), 9 * kTicksPerUnit + kTicksPerUnit / 2);
+    EXPECT_EQ(unitsToTicks(6.4), 6'400'000);
+    EXPECT_EQ(unitsToTicks(26.4), 26'400'000);
+}
+
+TEST(TypesTest, RoundTripIsIdentityForRepresentableValues)
+{
+    for (double v : {0.0, 0.25, 0.5, 1.0, 3.6, 9.5, 100.0}) {
+        EXPECT_DOUBLE_EQ(ticksToUnits(unitsToTicks(v)), v) << v;
+    }
+}
+
+TEST(TypesTest, ConversionRoundsToNearest)
+{
+    EXPECT_EQ(unitsToTicks(1e-7), 0);     // below half a tick
+    EXPECT_EQ(unitsToTicks(6e-7), 1);     // above half a tick
+    EXPECT_EQ(unitsToTicks(0.9999999), 1'000'000);
+}
+
+TEST(TypesTest, NegativeDurationsClampToZero)
+{
+    EXPECT_EQ(unitsToTicks(-1.0), 0);
+    EXPECT_EQ(unitsToTicks(-1e-9), 0);
+}
+
+TEST(TypesTest, TicksToUnitsHandlesLargeValues)
+{
+    const Tick big = 123'456'789'000'000;
+    EXPECT_DOUBLE_EQ(ticksToUnits(big), 123'456'789.0);
+}
+
+} // namespace
+} // namespace busarb

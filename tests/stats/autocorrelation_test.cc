@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for batch-means adequacy diagnostics.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/autocorrelation.hh"
+
+namespace busarb {
+namespace {
+
+TEST(AutocorrelationTest, ShortOrConstantSeriesIsZero)
+{
+    EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 1), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelation({5.0, 5.0, 5.0, 5.0}, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsStronglyNegative)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+    EXPECT_LT(autocorrelation(xs, 1), -0.9);
+    EXPECT_GT(autocorrelation(xs, 2), 0.9);
+}
+
+TEST(AutocorrelationTest, TrendingSeriesIsStronglyPositive)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 64; ++i)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_GT(autocorrelation(xs, 1), 0.8);
+}
+
+TEST(AutocorrelationTest, IidNoiseIsNearZero)
+{
+    Rng rng(31);
+    std::vector<double> xs;
+    for (int i = 0; i < 4000; ++i)
+        xs.push_back(rng.uniform());
+    EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, Ar1ProcessMatchesTheory)
+{
+    // x_{t+1} = phi x_t + noise has lag-1 autocorrelation phi.
+    const double phi = 0.6;
+    Rng rng(77);
+    std::vector<double> xs;
+    double x = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        x = phi * x + (rng.uniform() - 0.5);
+        xs.push_back(x);
+    }
+    EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.05);
+    EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.05);
+}
+
+TEST(DiagnoseBatchesTest, FlagsCorrelatedBatches)
+{
+    std::vector<double> trending;
+    for (int i = 0; i < 10; ++i)
+        trending.push_back(static_cast<double>(i));
+    EXPECT_FALSE(diagnoseBatches(trending).adequate);
+
+    std::vector<double> alternating;
+    for (int i = 0; i < 10; ++i)
+        alternating.push_back(i % 2 == 0 ? 1.0 : -1.0);
+    EXPECT_FALSE(diagnoseBatches(alternating).adequate);
+}
+
+TEST(DiagnoseBatchesTest, AcceptsIndependentBatches)
+{
+    Rng rng(9);
+    std::vector<double> xs;
+    for (int i = 0; i < 10; ++i)
+        xs.push_back(rng.uniform());
+    // A 10-point estimate is noisy; use a generous threshold as in
+    // practice.
+    EXPECT_TRUE(diagnoseBatches(xs, 0.6).adequate);
+}
+
+TEST(AutocorrelationDeathTest, InvalidArguments)
+{
+    EXPECT_DEATH(autocorrelation({1.0, 2.0, 3.0}, 0), "lag");
+    EXPECT_DEATH(diagnoseBatches({1.0, 2.0}, 0.0), "threshold");
+}
+
+} // namespace
+} // namespace busarb

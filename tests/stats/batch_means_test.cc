@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for Student-t critical values and batch-means estimation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/batch_means.hh"
+#include "stats/student_t.hh"
+
+namespace busarb {
+namespace {
+
+TEST(StudentTTest, KnownCriticalValues)
+{
+    // dof = 9 at 90% two-sided is the constant behind the paper's
+    // "10 batches, 90% confidence intervals".
+    EXPECT_DOUBLE_EQ(studentTCritical(9, 0.90), 1.833);
+    EXPECT_DOUBLE_EQ(studentTCritical(1, 0.90), 6.314);
+    EXPECT_DOUBLE_EQ(studentTCritical(9, 0.95), 2.262);
+    EXPECT_DOUBLE_EQ(studentTCritical(9, 0.99), 3.250);
+    EXPECT_DOUBLE_EQ(studentTCritical(30, 0.90), 1.697);
+}
+
+TEST(StudentTTest, LargeDofFallsBackToNormal)
+{
+    EXPECT_DOUBLE_EQ(studentTCritical(1000, 0.90), 1.645);
+    EXPECT_DOUBLE_EQ(studentTCritical(1000, 0.95), 1.960);
+    EXPECT_DOUBLE_EQ(studentTCritical(1000, 0.99), 2.576);
+}
+
+TEST(StudentTTest, CriticalValueDecreasesWithDof)
+{
+    for (int dof = 2; dof <= 30; ++dof) {
+        EXPECT_LT(studentTCritical(dof, 0.90),
+                  studentTCritical(dof - 1, 0.90));
+    }
+}
+
+TEST(StudentTDeathTest, InvalidInputs)
+{
+    EXPECT_DEATH(studentTCritical(0, 0.90), "degrees of freedom");
+    EXPECT_EXIT(studentTCritical(5, 0.42),
+                ::testing::ExitedWithCode(1), "unsupported confidence");
+}
+
+TEST(EstimateTest, FormattingAndEdges)
+{
+    Estimate e{1.2345, 0.0456};
+    EXPECT_EQ(e.str(2), "1.23 ± 0.05");
+    EXPECT_EQ(e.str(3), "1.234 ± 0.046");
+    EXPECT_NEAR(e.lo(), 1.1889, 1e-12);
+    EXPECT_NEAR(e.hi(), 1.2801, 1e-12);
+}
+
+TEST(BatchMeansTest, EmptyAndSingleBatch)
+{
+    BatchMeans bm;
+    EXPECT_DOUBLE_EQ(bm.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(bm.estimate().halfWidth, 0.0);
+    bm.addBatch(4.0);
+    EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(bm.estimate().value, 4.0);
+    EXPECT_DOUBLE_EQ(bm.estimate().halfWidth, 0.0);
+}
+
+TEST(BatchMeansTest, HandComputedInterval)
+{
+    // Batches 1..10: mean 5.5, sample stddev sqrt(110/12) ... compute
+    // directly: s^2 = sum((i - 5.5)^2)/9 = 82.5 / 9.
+    BatchMeans bm;
+    for (int i = 1; i <= 10; ++i)
+        bm.addBatch(static_cast<double>(i));
+    const Estimate e = bm.estimate(0.90);
+    EXPECT_DOUBLE_EQ(e.value, 5.5);
+    const double s = std::sqrt(82.5 / 9.0);
+    EXPECT_NEAR(e.halfWidth, 1.833 * s / std::sqrt(10.0), 1e-9);
+}
+
+TEST(BatchMeansTest, IdenticalBatchesHaveZeroWidth)
+{
+    BatchMeans bm;
+    for (int i = 0; i < 10; ++i)
+        bm.addBatch(7.25);
+    const Estimate e = bm.estimate(0.90);
+    EXPECT_DOUBLE_EQ(e.value, 7.25);
+    EXPECT_DOUBLE_EQ(e.halfWidth, 0.0);
+}
+
+TEST(BatchMeansTest, WiderConfidenceWiderInterval)
+{
+    BatchMeans bm;
+    for (int i = 1; i <= 10; ++i)
+        bm.addBatch(static_cast<double>(i % 3));
+    EXPECT_LT(bm.estimate(0.90).halfWidth, bm.estimate(0.95).halfWidth);
+    EXPECT_LT(bm.estimate(0.95).halfWidth, bm.estimate(0.99).halfWidth);
+}
+
+TEST(RatioEstimateTest, ConstantRatio)
+{
+    std::vector<double> num{2.0, 4.0, 6.0};
+    std::vector<double> den{1.0, 2.0, 3.0};
+    const Estimate e = ratioEstimate(num, den, 0.90);
+    EXPECT_DOUBLE_EQ(e.value, 2.0);
+    EXPECT_DOUBLE_EQ(e.halfWidth, 0.0);
+}
+
+TEST(RatioEstimateTest, VaryingRatio)
+{
+    std::vector<double> num{1.0, 2.0, 3.0, 2.0};
+    std::vector<double> den{1.0, 1.0, 1.0, 1.0};
+    const Estimate e = ratioEstimate(num, den, 0.90);
+    EXPECT_DOUBLE_EQ(e.value, 2.0);
+    EXPECT_GT(e.halfWidth, 0.0);
+}
+
+TEST(RatioEstimateDeathTest, MismatchedSizesAndZeroDenominator)
+{
+    std::vector<double> a{1.0, 2.0};
+    std::vector<double> b{1.0};
+    EXPECT_DEATH(ratioEstimate(a, b), "size mismatch");
+    std::vector<double> z{1.0, 0.0};
+    EXPECT_DEATH(ratioEstimate(a, z), "zero denominator");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the Welford accumulator.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "stats/welford.hh"
+
+namespace busarb {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.varianceSample(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+    EXPECT_TRUE(std::isinf(rs.min()));
+    EXPECT_TRUE(std::isinf(rs.max()));
+}
+
+TEST(WelfordTest, SingleValue)
+{
+    RunningStats rs;
+    rs.add(5.0);
+    EXPECT_EQ(rs.count(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.varianceSample(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(WelfordTest, KnownSmallSample)
+{
+    RunningStats rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(v);
+    EXPECT_EQ(rs.count(), 8u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.variancePopulation(), 4.0);
+    EXPECT_NEAR(rs.varianceSample(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(WelfordTest, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = 0.37 * i - 13.0;
+        all.add(v);
+        (i < 40 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.varianceSample(), all.varianceSample(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats a_copy = a;
+    a.merge(b); // empty right side
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a_copy); // empty left side
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(WelfordTest, ClearResets)
+{
+    RunningStats rs;
+    rs.add(10.0);
+    rs.clear();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(WelfordTest, StableWithLargeOffset)
+{
+    // Naive sum-of-squares would lose all precision here.
+    RunningStats rs;
+    const double offset = 1e9;
+    for (double v : {offset + 1.0, offset + 2.0, offset + 3.0})
+        rs.add(v);
+    EXPECT_NEAR(rs.varianceSample(), 1.0, 1e-6);
+}
+
+TEST(WelfordTest, NegativeValues)
+{
+    RunningStats rs;
+    rs.add(-2.0);
+    rs.add(2.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.varianceSample(), 8.0);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Test helper that records the exact service schedule a bus produced, so
+ * integration tests can compare protocols one grant at a time.
+ */
+
+#ifndef BUSARB_TESTS_SUPPORT_SCHEDULE_RECORDER_HH
+#define BUSARB_TESTS_SUPPORT_SCHEDULE_RECORDER_HH
+
+#include <vector>
+
+#include "bus/bus.hh"
+
+namespace busarb::test {
+
+/** One grant in the recorded schedule. */
+struct Grant
+{
+    AgentId agent;
+    Tick start;
+    Tick end;
+    Tick issued;
+
+    bool
+    operator==(const Grant &other) const
+    {
+        return agent == other.agent && start == other.start &&
+               end == other.end && issued == other.issued;
+    }
+};
+
+/**
+ * BusObserver that appends every service start/end to a list and can
+ * forward to a chained observer.
+ */
+class ScheduleRecorder : public BusObserver
+{
+  public:
+    explicit ScheduleRecorder(BusObserver *next = nullptr) : next_(next) {}
+
+    void
+    onServiceStart(const Request &req, Tick now) override
+    {
+        grants_.push_back(Grant{req.agent, now, 0, req.issued});
+        if (next_ != nullptr)
+            next_->onServiceStart(req, now);
+    }
+
+    void
+    onServiceEnd(const Request &req, Tick now) override
+    {
+        for (auto it = grants_.rbegin(); it != grants_.rend(); ++it) {
+            if (it->agent == req.agent && it->end == 0) {
+                it->end = now;
+                break;
+            }
+        }
+        if (next_ != nullptr)
+            next_->onServiceEnd(req, now);
+    }
+
+    /** @return All grants recorded so far. */
+    const std::vector<Grant> &grants() const { return grants_; }
+
+    /** @return Just the agent order of the grants. */
+    std::vector<AgentId>
+    agentOrder() const
+    {
+        std::vector<AgentId> order;
+        order.reserve(grants_.size());
+        for (const auto &g : grants_)
+            order.push_back(g.agent);
+        return order;
+    }
+
+  private:
+    BusObserver *next_;
+    std::vector<Grant> grants_;
+};
+
+} // namespace busarb::test
+
+#endif // BUSARB_TESTS_SUPPORT_SCHEDULE_RECORDER_HH

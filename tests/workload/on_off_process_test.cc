@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the ON/OFF modulated think process.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/autocorrelation.hh"
+#include "stats/welford.hh"
+#include "workload/on_off_process.hh"
+
+namespace busarb {
+namespace {
+
+TEST(OnOffProcessTest, LongRunMeanMatchesFormula)
+{
+    OnOffParams params;
+    params.meanOn = 0.5;
+    params.meanOff = 8.0;
+    params.burstLength = 6.0;
+    params.gapLength = 2.0;
+    OnOffProcess process(params);
+    Rng rng(101);
+    RunningStats rs;
+    for (int i = 0; i < 400000; ++i)
+        rs.add(process.sample(rng));
+    EXPECT_NEAR(rs.mean(), process.mean(), 0.03 * process.mean());
+    // Formula: p = 6/8; mean = 0.75*0.5 + 0.25*8 = 2.375.
+    EXPECT_DOUBLE_EQ(process.mean(), 2.375);
+}
+
+TEST(OnOffProcessTest, MarginalCvMatchesMixtureFormula)
+{
+    OnOffParams params;
+    params.meanOn = 0.2;
+    params.meanOff = 10.0;
+    params.burstLength = 8.0;
+    params.gapLength = 2.0;
+    OnOffProcess process(params);
+    Rng rng(107);
+    RunningStats rs;
+    for (int i = 0; i < 600000; ++i)
+        rs.add(process.sample(rng));
+    const double realized = rs.stddev() / rs.mean();
+    EXPECT_NEAR(realized, process.cv(), 0.05 * process.cv());
+    EXPECT_GT(process.cv(), 1.0); // burstier than exponential
+}
+
+TEST(OnOffProcessTest, SamplesArePositivelyCorrelated)
+{
+    // The whole point: unlike every renewal distribution in the
+    // library, successive think times are correlated.
+    OnOffParams params;
+    params.meanOn = 0.2;
+    params.meanOff = 10.0;
+    params.burstLength = 10.0;
+    params.gapLength = 4.0;
+    OnOffProcess process(params);
+    Rng rng(109);
+    std::vector<double> samples;
+    for (int i = 0; i < 100000; ++i)
+        samples.push_back(process.sample(rng));
+    EXPECT_GT(autocorrelation(samples, 1), 0.15);
+
+    // Reference: the iid hyperexponential with the same CV has none.
+    HyperExponentialDistribution h2(process.mean(), process.cv());
+    std::vector<double> iid;
+    Rng rng2(109);
+    for (int i = 0; i < 100000; ++i)
+        iid.push_back(h2.sample(rng2));
+    EXPECT_NEAR(autocorrelation(iid, 1), 0.0, 0.03);
+}
+
+TEST(OnOffProcessTest, DegenerateSingleStateIsExponential)
+{
+    OnOffParams params;
+    params.meanOn = 2.0;
+    params.meanOff = 2.0; // identical phases
+    params.burstLength = 1.0;
+    params.gapLength = 1.0;
+    OnOffProcess process(params);
+    EXPECT_DOUBLE_EQ(process.mean(), 2.0);
+    EXPECT_NEAR(process.cv(), 1.0, 1e-9);
+}
+
+TEST(OnOffProcessTest, CloneStartsFresh)
+{
+    OnOffParams params;
+    OnOffProcess process(params);
+    const auto copy = process.clone();
+    EXPECT_EQ(copy->describe(), process.describe());
+    EXPECT_DOUBLE_EQ(copy->mean(), process.mean());
+}
+
+TEST(OnOffProcessDeathTest, BadParameters)
+{
+    OnOffParams bad;
+    bad.meanOn = 0.0;
+    EXPECT_DEATH(OnOffProcess{bad}, "meanOn");
+    OnOffParams bad2;
+    bad2.burstLength = 0.5;
+    EXPECT_DEATH(OnOffProcess{bad2}, "burstLength");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for agent traits, scenario builders, and the closed-loop
+ * agent.
+ */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baseline/fixed_priority.hh"
+#include "support/schedule_recorder.hh"
+#include "workload/closed_agent.hh"
+#include "workload/scenario.hh"
+
+namespace busarb {
+namespace {
+
+constexpr Tick U = kTicksPerUnit;
+
+TEST(AgentTraitsTest, LoadConversionsRoundTrip)
+{
+    for (double load : {0.025, 0.1, 0.25, 0.5, 0.752, 0.9}) {
+        const double t = interrequestForLoad(load);
+        EXPECT_NEAR(loadForInterrequest(t), load, 1e-12) << load;
+    }
+}
+
+TEST(AgentTraitsTest, KnownValues)
+{
+    // Per-agent load 0.2 -> think 4; load 0.5 -> think 1.
+    EXPECT_DOUBLE_EQ(interrequestForLoad(0.2), 4.0);
+    EXPECT_DOUBLE_EQ(interrequestForLoad(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(loadForInterrequest(0.0), 1.0);
+    // Non-unit transaction time scales the think time.
+    EXPECT_DOUBLE_EQ(interrequestForLoad(0.5, 2.0), 2.0);
+}
+
+TEST(ScenarioTest, EqualLoadSplitsTotalEvenly)
+{
+    const auto config = equalLoadScenario(10, 2.0, 1.0);
+    EXPECT_EQ(config.numAgents, 10);
+    ASSERT_EQ(config.agents.size(), 10u);
+    for (const auto &a : config.agents) {
+        EXPECT_DOUBLE_EQ(a.meanInterrequest, 4.0); // load 0.2 each
+        EXPECT_DOUBLE_EQ(a.cv, 1.0);
+    }
+    EXPECT_NEAR(config.totalOfferedLoad(), 2.0, 1e-12);
+}
+
+TEST(ScenarioTest, UnequalLoadScalesAgentOne)
+{
+    const auto config = unequalLoadScenario(30, 0.02, 4.0, 1.0);
+    EXPECT_DOUBLE_EQ(
+        loadForInterrequest(config.agents[0].meanInterrequest), 0.08);
+    EXPECT_DOUBLE_EQ(
+        loadForInterrequest(config.agents[1].meanInterrequest), 0.02);
+    EXPECT_NEAR(config.totalOfferedLoad(), 0.02 * 29 + 0.08, 1e-12);
+}
+
+TEST(ScenarioTest, WorstCaseUsesPaperConstants)
+{
+    const auto config = worstCaseRrScenario(10, 0.0);
+    EXPECT_DOUBLE_EQ(config.agents[0].meanInterrequest, 9.5);
+    for (std::size_t i = 1; i < config.agents.size(); ++i)
+        EXPECT_DOUBLE_EQ(config.agents[i].meanInterrequest, 6.4);
+    EXPECT_DOUBLE_EQ(config.agents[0].cv, 0.0);
+}
+
+TEST(ScenarioTest, OverlapAppliesToAllAgents)
+{
+    auto config = equalLoadScenario(4, 1.0, 1.0);
+    setOverlapLimit(config, 6.0);
+    for (const auto &a : config.agents)
+        EXPECT_DOUBLE_EQ(a.overlapLimit, 6.0);
+}
+
+TEST(ScenarioDeathTest, InvalidParameters)
+{
+    EXPECT_DEATH(equalLoadScenario(10, 10.0), "in \\(0, 1\\)");
+    EXPECT_DEATH(unequalLoadScenario(10, 0.3, 4.0), "out of range");
+    EXPECT_DEATH(worstCaseRrScenario(3, 0.0), "n - 3.6");
+}
+
+/** ThinkSink that records samples. */
+struct ThinkRecorder : ThinkSink
+{
+    std::vector<double> samples;
+
+    void
+    recordThink(AgentId, double think) override
+    {
+        samples.push_back(think);
+    }
+};
+
+TEST(ClosedAgentTest, DeterministicCycleTiming)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    test::ScheduleRecorder recorder;
+    bus.setObserver(&recorder);
+    AgentTraits traits;
+    traits.meanInterrequest = 2.0;
+    traits.cv = 0.0;
+    ClosedAgent agent(queue, bus, 1, traits, Rng(1));
+    struct Fanout : BusObserver
+    {
+        test::ScheduleRecorder *rec = nullptr;
+        ClosedAgent *agentPtr = nullptr;
+        void
+        onServiceStart(const Request &r, Tick t) override
+        {
+            rec->onServiceStart(r, t);
+        }
+        void
+        onServiceEnd(const Request &r, Tick t) override
+        {
+            rec->onServiceEnd(r, t);
+            agentPtr->onServiceEnd(t);
+        }
+    } fanout;
+    fanout.rec = &recorder;
+    fanout.agentPtr = &agent;
+    bus.setObserver(&fanout);
+    agent.start();
+    queue.run(unitsToTicks(11.0));
+    // Cycle: think 2, arb 0.5, service 1 -> period 3.5 starting at 2.
+    ASSERT_GE(recorder.grants().size(), 3u);
+    EXPECT_EQ(recorder.grants()[0].start, 2 * U + U / 2);
+    EXPECT_EQ(recorder.grants()[1].start, 2 * U + U / 2 + U + 2 * U +
+                                              U / 2);
+}
+
+TEST(ClosedAgentTest, ThinkTimesReportedToSink)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    AgentTraits traits;
+    traits.meanInterrequest = 1.5;
+    traits.cv = 0.0;
+    ClosedAgent agent(queue, bus, 1, traits, Rng(1));
+    ThinkRecorder sink;
+    agent.setThinkSink(&sink);
+    agent.start();
+    queue.run(unitsToTicks(1.0));
+    ASSERT_EQ(sink.samples.size(), 1u);
+    EXPECT_DOUBLE_EQ(sink.samples[0], 1.5);
+}
+
+TEST(ClosedAgentTest, MaxOutstandingIssuesThatManyTokens)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    AgentTraits traits;
+    traits.meanInterrequest = 1.0;
+    traits.cv = 0.0;
+    traits.maxOutstanding = 3;
+    ClosedAgent agent(queue, bus, 1, traits, Rng(1));
+    agent.start();
+    queue.run(unitsToTicks(1.0)); // all three tokens issue at t = 1
+    EXPECT_EQ(agent.issued(), 3u);
+}
+
+TEST(ClosedAgentTest, PriorityFractionZeroAndOne)
+{
+    EventQueue queue;
+    Bus bus(queue,
+            std::make_unique<FixedPriorityProtocol>(/*priority=*/true), 2,
+            {});
+    struct PriorityCounter : BusObserver
+    {
+        int priority = 0;
+        int normal = 0;
+        void
+        onServiceStart(const Request &r, Tick) override
+        {
+            (r.priority ? priority : normal) += 1;
+        }
+        void onServiceEnd(const Request &, Tick) override {}
+    } counter;
+    bus.setObserver(&counter);
+    AgentTraits traits;
+    traits.meanInterrequest = 1.0;
+    traits.cv = 0.0;
+    traits.priorityFraction = 1.0;
+    ClosedAgent agent(queue, bus, 1, traits, Rng(1));
+    agent.start();
+    queue.run(unitsToTicks(3.0));
+    EXPECT_GT(counter.priority, 0);
+    EXPECT_EQ(counter.normal, 0);
+}
+
+TEST(ClosedAgentDeathTest, InvalidTraits)
+{
+    EventQueue queue;
+    Bus bus(queue, std::make_unique<FixedPriorityProtocol>(), 2, {});
+    AgentTraits traits;
+    traits.maxOutstanding = 0;
+    EXPECT_DEATH(ClosedAgent(queue, bus, 1, traits, Rng(1)),
+                 "maxOutstanding");
+}
+
+} // namespace
+} // namespace busarb

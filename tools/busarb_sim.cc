@@ -1,0 +1,154 @@
+/**
+ * @file
+ * busarb_sim — command-line front end to the whole library.
+ *
+ * Run any protocol on any of the paper's workload families without
+ * writing code:
+ *
+ *   busarb_sim --protocol rr1 --agents 30 --load 2.0
+ *   busarb_sim --protocol fcfs1 --agents 10 --load 1.5 --cv 0.5 \
+ *              --histogram-csv hist.csv --batches-csv batches.csv
+ *   busarb_sim --protocol aap1 --agents 30 --load 7.5 --compare rr1
+ *   busarb_sim --protocol rr3 --agents 4 --load 1.0 --trace-events 40
+ *   busarb_sim --protocol fcfs2 --agents 16 --load 2.0 --settle-timing
+ *   busarb_sim --protocol rr1 --worst-case --agents 10 --cv 0
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bus/trace.hh"
+#include "experiment/cli.hh"
+#include "experiment/csv.hh"
+#include "experiment/protocols.hh"
+#include "experiment/report.hh"
+#include "experiment/runner.hh"
+#include "workload/scenario.hh"
+
+using namespace busarb;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser parser("busarb_sim",
+                     "simulate multiprocessor bus arbitration protocols "
+                     "(Vernon & Manber, ISCA 1988)");
+    parser.addStringFlag("protocol", "rr1",
+                         "protocol spec: rr1 rr2 rr3 fcfs1 fcfs2 hybrid "
+                         "fixed aap1 aap2 central-rr central-fcfs "
+                         "ticket, with options like "
+                         "fcfs2:window=0.05,bits=3,wrap or "
+                         "rr1:priority");
+    parser.addStringFlag("compare", "",
+                         "second protocol to run on the same workload");
+    parser.addIntFlag("agents", 10, "number of agents (1..N)");
+    parser.addDoubleFlag("load", 2.0, "total offered load");
+    parser.addDoubleFlag("cv", 1.0,
+                         "inter-request coefficient of variation");
+    parser.addBoolFlag("worst-case", false,
+                       "use the Table 4.5 just-miss workload instead of "
+                       "equal loads");
+    parser.addDoubleFlag("unequal-factor", 0.0,
+                         "agent 1's load multiplier (Table 4.4); 0 "
+                         "disables");
+    parser.addIntFlag("batches", 10, "measurement batches");
+    parser.addIntFlag("batch-size", 8000, "completions per batch");
+    parser.addIntFlag("warmup", 8000, "warm-up completions discarded");
+    parser.addIntFlag("seed", 0x5eedcafe, "random seed");
+    parser.addDoubleFlag("arb-overhead", 0.5,
+                         "arbitration overhead, transaction times");
+    parser.addBoolFlag("settle-timing", false,
+                       "derive pass durations from the bit-level "
+                       "contention model");
+    parser.addBoolFlag("worst-case-settle", false,
+                       "budget ceil(k/2) propagations per pass "
+                       "(synchronous bus)");
+    parser.addIntFlag("max-outstanding", 1,
+                      "outstanding requests per agent (FCFS r > 1)");
+    parser.addStringFlag("batches-csv", "",
+                         "write per-batch measurements to this file");
+    parser.addStringFlag("histogram-csv", "",
+                         "write the waiting-time histogram to this file");
+    parser.addIntFlag("trace-events", 0,
+                      "print the first K bus events as a timeline");
+    if (!parser.parse(argc, argv))
+        return parser.exitCode();
+
+    const int n = static_cast<int>(parser.getInt("agents"));
+    const double load = parser.getDouble("load");
+    const double cv = parser.getDouble("cv");
+    const double factor = parser.getDouble("unequal-factor");
+
+    ScenarioConfig config;
+    if (parser.getBool("worst-case")) {
+        config = worstCaseRrScenario(n, cv);
+    } else if (factor > 0.0) {
+        config = unequalLoadScenario(n, load / n, factor, cv);
+    } else {
+        config = equalLoadScenario(n, load, cv);
+    }
+    config.numBatches = static_cast<int>(parser.getInt("batches"));
+    config.batchSize =
+        static_cast<std::uint64_t>(parser.getInt("batch-size"));
+    config.warmup = static_cast<std::uint64_t>(parser.getInt("warmup"));
+    config.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
+    config.bus.arbitrationOverhead = parser.getDouble("arb-overhead");
+    config.bus.settleTiming = parser.getBool("settle-timing") ||
+                              parser.getBool("worst-case-settle");
+    if (parser.getBool("worst-case-settle"))
+        config.bus.settleMode = BusParams::SettleMode::kWorstCase;
+    for (auto &traits : config.agents) {
+        traits.maxOutstanding =
+            static_cast<int>(parser.getInt("max-outstanding"));
+    }
+    config.collectHistogram = !parser.getString("histogram-csv").empty();
+
+    const auto trace_events = parser.getInt("trace-events");
+    std::unique_ptr<TextTracer> tracer;
+    if (trace_events > 0) {
+        std::cout << "timeline of the first " << trace_events
+                  << " bus events:\n\n";
+        tracer = std::make_unique<TextTracer>(
+            std::cout, static_cast<std::uint64_t>(trace_events));
+        config.tracer = tracer.get();
+    }
+
+    std::cout << "busarb_sim: " << describeScenario(config) << "\n\n";
+
+    const ScenarioResult result =
+        runScenario(config, protocolFromSpec(parser.getString("protocol")));
+    printSummary(result, std::cout);
+
+    if (!parser.getString("compare").empty()) {
+        std::cout << "\n";
+        const ScenarioResult other = runScenario(
+            config, protocolFromSpec(parser.getString("compare")));
+        printSummary(other, std::cout);
+    }
+
+    if (!parser.getString("batches-csv").empty()) {
+        std::ofstream out(parser.getString("batches-csv"));
+        if (!out) {
+            std::cerr << "cannot write "
+                      << parser.getString("batches-csv") << "\n";
+            return 1;
+        }
+        writeBatchesCsv(result, out);
+        std::cout << "\nwrote per-batch CSV to "
+                  << parser.getString("batches-csv") << "\n";
+    }
+    if (!parser.getString("histogram-csv").empty()) {
+        std::ofstream out(parser.getString("histogram-csv"));
+        if (!out) {
+            std::cerr << "cannot write "
+                      << parser.getString("histogram-csv") << "\n";
+            return 1;
+        }
+        writeHistogramCsv(result, out);
+        std::cout << "wrote waiting-time histogram CSV to "
+                  << parser.getString("histogram-csv") << "\n";
+    }
+    return 0;
+}
