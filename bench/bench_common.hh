@@ -5,7 +5,9 @@
  * Every harness uses the paper's output-analysis plan (Section 4.1):
  * 10 batches x 8000 completed requests, one warm-up batch, 90%
  * confidence intervals. Set BUSARB_BENCH_BATCH in the environment to
- * override the batch size (e.g. 1000 for a quick pass).
+ * override the batch size (e.g. 1000 for a quick pass), and
+ * BUSARB_BENCH_JOBS to pin the scenario-level parallelism (default:
+ * one job per hardware thread; results are identical at any setting).
  */
 
 #ifndef BUSARB_BENCH_BENCH_COMMON_HH
@@ -14,7 +16,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "experiment/runner.hh"
 #include "workload/scenario.hh"
 
 namespace busarb::bench {
@@ -49,6 +53,29 @@ paperLoads()
     static const std::vector<double> loads{0.25, 0.50, 1.00, 1.50,
                                            2.00, 2.50, 5.00, 7.50};
     return loads;
+}
+
+/** @return Scenario jobs: one per hardware thread, or the
+ *          BUSARB_BENCH_JOBS override. */
+inline int
+benchJobs()
+{
+    if (const char *env = std::getenv("BUSARB_BENCH_JOBS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<int>(v);
+    }
+    return 0; // runScenarioGrid resolves 0 to hardware_concurrency
+}
+
+/**
+ * Run a grid of scenarios with the bench-wide job count. Results come
+ * back in submission order, bit-identical to a serial run.
+ */
+inline std::vector<ScenarioResult>
+runGrid(const std::vector<GridJob> &grid)
+{
+    return runScenarioGrid(grid, benchJobs());
 }
 
 /** Print a section heading. */

@@ -39,11 +39,22 @@ main()
         if (with_aap)
             headers.push_back("t_N/t_1 AAP");
         TextTable table(headers);
+        // Fan the whole load sweep out at once: per load, RR then FCFS
+        // (then AAP for the 30-agent table).
+        std::vector<GridJob> grid;
         for (double load : paperLoads()) {
             const ScenarioConfig config =
                 withPaperMeasurement(equalLoadScenario(n, load));
-            const auto rr = runScenario(config, protocolByKey("rr1"));
-            const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+            grid.push_back({config, protocolByKey("rr1")});
+            grid.push_back({config, protocolByKey("fcfs1")});
+            if (with_aap)
+                grid.push_back({config, protocolByKey("aap1")});
+        }
+        const auto results = runGrid(grid);
+        std::size_t cell = 0;
+        for (double load : paperLoads()) {
+            const auto &rr = results[cell++];
+            const auto &fcfs = results[cell++];
             std::vector<std::string> row{
                 formatFixed(load, 2),
                 formatFixed(rr.utilization().value, 2),
@@ -51,8 +62,7 @@ main()
                 formatEstimate(fcfs.throughputRatio(n, 1)),
             };
             if (with_aap) {
-                const auto aap =
-                    runScenario(config, protocolByKey("aap1"));
+                const auto &aap = results[cell++];
                 row.push_back(formatEstimate(aap.throughputRatio(n, 1)));
             }
             table.addRow(row);

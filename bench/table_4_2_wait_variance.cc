@@ -30,11 +30,19 @@ main()
                 ") " + std::to_string(n) + " Agents");
         TextTable table({"Load", "Lambda", "W", "sigma FCFS", "sigma RR",
                          "sigma_RR/sigma_FCFS"});
+        // Per load: RR, then FCFS; the whole sweep runs as one grid.
+        std::vector<GridJob> grid;
         for (double load : paperLoads()) {
             const ScenarioConfig config =
                 withPaperMeasurement(equalLoadScenario(n, load));
-            const auto rr = runScenario(config, protocolByKey("rr1"));
-            const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+            grid.push_back({config, protocolByKey("rr1")});
+            grid.push_back({config, protocolByKey("fcfs1")});
+        }
+        const auto results = runGrid(grid);
+        std::size_t cell = 0;
+        for (double load : paperLoads()) {
+            const auto &rr = results[cell++];
+            const auto &fcfs = results[cell++];
             const double sigma_rr = rr.waitStddev().value;
             const double sigma_fcfs = fcfs.waitStddev().value;
             table.addRow({

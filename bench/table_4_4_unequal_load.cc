@@ -34,6 +34,9 @@ main()
                                : std::string("Quadruple Request Rate")));
         TextTable table({"Load", "Lambda", "Load1/Load2", "t1/t2 RR",
                          "t1/t2 FCFS"});
+        // Per eligible load: RR, then FCFS, fanned out as one grid.
+        std::vector<ScenarioConfig> configs;
+        std::vector<GridJob> grid;
         for (double base_total : paperLoads()) {
             const double base_load = base_total / n;
             // An agent's offered load must stay below 1: the paper's
@@ -42,8 +45,15 @@ main()
                 continue;
             const ScenarioConfig config = withPaperMeasurement(
                 unequalLoadScenario(n, base_load, factor));
-            const auto rr = runScenario(config, protocolByKey("rr1"));
-            const auto fcfs = runScenario(config, protocolByKey("fcfs1"));
+            configs.push_back(config);
+            grid.push_back({config, protocolByKey("rr1")});
+            grid.push_back({config, protocolByKey("fcfs1")});
+        }
+        const auto results = runGrid(grid);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const ScenarioConfig &config = configs[i];
+            const auto &rr = results[2 * i];
+            const auto &fcfs = results[2 * i + 1];
             table.addRow({
                 formatFixed(config.totalOfferedLoad(), 2),
                 formatFixed(rr.utilization().value, 2),

@@ -41,10 +41,20 @@ main()
                       : std::vector<double>{0.0, 0.25, 1.0};
         TextTable table({"CV", "Load_slow/Load_other",
                          "t[slow]/t[other] RR"});
+        // One RR run per CV point, fanned out as one grid.
+        std::vector<ScenarioConfig> configs;
+        std::vector<GridJob> grid;
         for (double cv : cvs) {
             const ScenarioConfig config =
                 withPaperMeasurement(worstCaseRrScenario(n, cv));
-            const auto rr = runScenario(config, protocolByKey("rr1"));
+            configs.push_back(config);
+            grid.push_back({config, protocolByKey("rr1")});
+        }
+        const auto results = runGrid(grid);
+        for (std::size_t i = 0; i < cvs.size(); ++i) {
+            const double cv = cvs[i];
+            const ScenarioConfig &config = configs[i];
+            const auto &rr = results[i];
             const double load_ratio =
                 loadForInterrequest(config.agents[0].meanInterrequest) /
                 loadForInterrequest(config.agents[1].meanInterrequest);

@@ -1,0 +1,54 @@
+#!/bin/sh
+# Tier-1 integration check for the parallel sweep runner:
+#
+#   1. A small protocol x load sweep at --jobs 1 and --jobs 4 must
+#      produce byte-identical CSVs (every grid cell is hermetic, so
+#      thread interleaving must not be observable in the output).
+#   2. A malformed --loads token must exit with status 2 and name the
+#      offending token (regression for the unchecked std::stod abort).
+#
+# Usage: check_determinism.sh /path/to/busarb_sweep
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 /path/to/busarb_sweep" >&2
+    exit 2
+fi
+sweep="$1"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_sweep() {
+    "$sweep" --protocols rr1,fcfs1,aap1 --agents 8 --loads 0.5,2,7.5 \
+             --batches 3 --batch-size 400 --jobs "$1" --csv "$2" \
+             > /dev/null
+}
+
+run_sweep 1 "$tmp/serial.csv"
+run_sweep 4 "$tmp/parallel.csv"
+
+if ! cmp -s "$tmp/serial.csv" "$tmp/parallel.csv"; then
+    echo "FAIL: --jobs 4 CSV differs from --jobs 1" >&2
+    diff -u "$tmp/serial.csv" "$tmp/parallel.csv" >&2 || true
+    exit 1
+fi
+
+set +e
+"$sweep" --loads 0.5,bogus --agents 4 --batches 2 --batch-size 200 \
+    > "$tmp/bad.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: bad --loads token exited with $code, expected 2" >&2
+    cat "$tmp/bad.out" >&2
+    exit 1
+fi
+if ! grep -q "bogus" "$tmp/bad.out"; then
+    echo "FAIL: error message does not name the bad token" >&2
+    cat "$tmp/bad.out" >&2
+    exit 1
+fi
+
+echo "ok: parallel sweep byte-identical to serial; bad token rejected" \
+     "with exit 2"

@@ -9,6 +9,60 @@
 
 namespace busarb {
 
+bool
+parseLong(const std::string &text, long &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+double
+parseDoubleTokenOrExit(const std::string &program,
+                       const std::string &flag, const std::string &token)
+{
+    double value = 0.0;
+    if (!parseDouble(token, value)) {
+        std::cerr << program << ": --" << flag << ": bad number '"
+                  << token << "'\n";
+        std::exit(2);
+    }
+    return value;
+}
+
+std::vector<double>
+parseDoubleListOrExit(const std::string &program, const std::string &flag,
+                      const std::string &text)
+{
+    std::vector<double> values;
+    std::istringstream is(text);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+        if (token.empty())
+            continue;
+        values.push_back(parseDoubleTokenOrExit(program, flag, token));
+    }
+    return values;
+}
+
 ArgParser::ArgParser(std::string program, std::string summary)
     : program_(std::move(program)), summary_(std::move(summary))
 {
@@ -65,9 +119,8 @@ ArgParser::validate(const std::string &name, Flag &flag,
       case Kind::kString:
         break;
       case Kind::kInt: {
-        char *end = nullptr;
-        (void)std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || *end != '\0') {
+        long parsed = 0;
+        if (!parseLong(value, parsed)) {
             std::cerr << program_ << ": --" << name
                       << " expects an integer, got '" << value << "'\n";
             return false;
@@ -75,9 +128,8 @@ ArgParser::validate(const std::string &name, Flag &flag,
         break;
       }
       case Kind::kDouble: {
-        char *end = nullptr;
-        (void)std::strtod(value.c_str(), &end);
-        if (end == value.c_str() || *end != '\0') {
+        double parsed = 0.0;
+        if (!parseDouble(value, parsed)) {
             std::cerr << program_ << ": --" << name
                       << " expects a number, got '" << value << "'\n";
             return false;

@@ -17,6 +17,56 @@
 namespace busarb {
 
 /**
+ * Parse a whole string as a base-10 integer.
+ *
+ * @param text The candidate text.
+ * @param out Receives the value on success.
+ * @retval false Empty input, trailing garbage, or no digits.
+ */
+bool parseLong(const std::string &text, long &out);
+
+/**
+ * Parse a whole string as a floating-point number.
+ *
+ * @param text The candidate text.
+ * @param out Receives the value on success.
+ * @retval false Empty input, trailing garbage, or no number.
+ */
+bool parseDouble(const std::string &text, double &out);
+
+/**
+ * Parse one token of a numeric list flag, exiting on failure.
+ *
+ * On a malformed token, reports `program: --flag: bad number 'token'`
+ * on stderr and exits the process with status 2 (the CLI usage-error
+ * convention) instead of letting std::stod abort with an uncaught
+ * exception.
+ *
+ * @param program Program name for the error message.
+ * @param flag Flag name (without dashes) for the error message.
+ * @param token The candidate token.
+ * @return The parsed value.
+ */
+double parseDoubleTokenOrExit(const std::string &program,
+                              const std::string &flag,
+                              const std::string &token);
+
+/**
+ * Parse a comma-separated list of numbers, exiting on a bad token.
+ *
+ * Empty tokens (from stray commas) are skipped; malformed tokens are
+ * reported via parseDoubleTokenOrExit semantics (stderr + exit 2).
+ *
+ * @param program Program name for the error message.
+ * @param flag Flag name (without dashes) for the error message.
+ * @param text The comma-separated list.
+ * @return The parsed values, in input order.
+ */
+std::vector<double> parseDoubleListOrExit(const std::string &program,
+                                          const std::string &flag,
+                                          const std::string &text);
+
+/**
  * Declarative command-line parser.
  *
  * Declare flags with add*Flag, then parse(). Unknown flags and type

@@ -1,0 +1,83 @@
+#include "experiment/job_pool.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+int
+resolveJobCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+JobPool::JobPool(int num_threads)
+{
+    const int n = resolveJobCount(num_threads);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+JobPool::submit(std::function<void()> job)
+{
+    BUSARB_ASSERT(job != nullptr, "null job submitted");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BUSARB_ASSERT(!stopping_, "submit on a stopping pool");
+        queue_.push_back(std::move(job));
+        ++unfinished_;
+    }
+    workAvailable_.notify_one();
+}
+
+void
+JobPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+JobPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to run
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --unfinished_;
+            if (unfinished_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace busarb

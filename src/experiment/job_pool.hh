@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small fixed-size worker pool for fanning hermetic jobs out across
+ * threads.
+ *
+ * Built on std::thread + mutex/condition_variable only — no external
+ * dependencies — because the simulation kernel itself is strictly
+ * single-threaded: parallelism lives one level up, across independent
+ * scenario runs that share nothing (see runScenarioGrid).
+ */
+
+#ifndef BUSARB_EXPERIMENT_JOB_POOL_HH
+#define BUSARB_EXPERIMENT_JOB_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace busarb {
+
+/**
+ * Resolve a requested job count to an actual thread count.
+ *
+ * @param requested Desired parallelism; <= 0 means "one job per
+ *        hardware thread".
+ * @return At least 1.
+ */
+int resolveJobCount(int requested);
+
+/**
+ * Fixed-size thread pool with a FIFO work queue.
+ *
+ * Jobs are arbitrary callables; the pool imposes no ordering between
+ * them beyond FIFO dispatch, so submitted work must be independent (or
+ * synchronize on its own). The destructor waits for all submitted jobs
+ * to finish before joining the workers.
+ */
+class JobPool
+{
+  public:
+    /**
+     * Start the workers.
+     *
+     * @param num_threads Worker count; <= 0 means one per hardware
+     *        thread.
+     */
+    explicit JobPool(int num_threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~JobPool();
+
+    JobPool(const JobPool &) = delete;
+    JobPool &operator=(const JobPool &) = delete;
+
+    /** Enqueue one job; runs on some worker, FIFO dispatch order. */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    /** @return Number of worker threads. */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::size_t unfinished_ = 0; // queued + currently running jobs
+    bool stopping_ = false;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_JOB_POOL_HH

@@ -45,6 +45,7 @@ MetricsCollector::onServiceEnd(const Request &req, Tick now)
     ++totalCompletions_;
     totalWaitSum_ += wait;
     totalWaitSqSum_ += wait * wait;
+    batchWait_.add(wait);
     if (histogramEnabled_)
         histogram_.add(wait);
     if (!agentHistograms_.empty())

@@ -18,6 +18,7 @@
 
 #include "bus/bus.hh"
 #include "stats/histogram.hh"
+#include "stats/welford.hh"
 #include "workload/closed_agent.hh"
 
 namespace busarb {
@@ -72,6 +73,18 @@ class MetricsCollector : public BusObserver, public ThinkSink
     /** @return Global sum of squared waiting times. */
     double totalWaitSqSum() const { return totalWaitSqSum_; }
 
+    /** Restart the batch-local waiting-time accumulator. */
+    void beginBatch() { batchWait_.clear(); }
+
+    /**
+     * Waiting times observed since the last beginBatch(), accumulated
+     * with Welford's algorithm. Unlike differencing the cumulative
+     * sums above (E[x^2] - E[x]^2), the batch-local accumulator stays
+     * numerically stable when waits are large relative to their
+     * spread.
+     */
+    const RunningStats &batchWaitStats() const { return batchWait_; }
+
     /** Start recording waiting times into the histogram. */
     void enableHistogram() { histogramEnabled_ = true; }
 
@@ -100,6 +113,7 @@ class MetricsCollector : public BusObserver, public ThinkSink
     std::uint64_t totalCompletions_ = 0;
     double totalWaitSum_ = 0.0;
     double totalWaitSqSum_ = 0.0;
+    RunningStats batchWait_;
     Histogram histogram_;
     bool histogramEnabled_ = false;
     std::vector<Histogram> agentHistograms_; // index 0 -> agent 1

@@ -55,6 +55,10 @@ printSummary(const ScenarioResult &result, std::ostream &os)
          formatEstimate(result.throughputRatio(result.numAgents, 1))});
     table.addRow({"retry-pass fraction",
                   formatEstimate(result.retryPassFraction(), 4)});
+    // Host wall-clock, only known for grid-run scenarios.
+    if (result.elapsedMs > 0.0)
+        table.addRow({"sim wall time",
+                      formatFixed(result.elapsedMs, 0) + " ms"});
     table.print(os);
 }
 

@@ -1,9 +1,11 @@
 #include "experiment/runner.hh"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
 
+#include "experiment/job_pool.hh"
 #include "experiment/metrics.hh"
 #include "random/rng.hh"
 #include "sim/event_queue.hh"
@@ -19,8 +21,6 @@ struct Snapshot
 {
     Tick now = 0;
     std::uint64_t totalCompletions = 0;
-    double totalWaitSum = 0.0;
-    double totalWaitSqSum = 0.0;
     Tick busyTicks = 0;
     std::uint64_t passes = 0;
     std::uint64_t retryPasses = 0;
@@ -34,8 +34,6 @@ takeSnapshot(const EventQueue &queue, const Bus &bus,
     Snapshot s;
     s.now = queue.now();
     s.totalCompletions = collector.totalCompletions();
-    s.totalWaitSum = collector.totalWaitSum();
-    s.totalWaitSqSum = collector.totalWaitSqSum();
     s.busyTicks = bus.busyTicks();
     s.passes = bus.arbitrationPasses();
     s.retryPasses = bus.retryPasses();
@@ -46,19 +44,25 @@ takeSnapshot(const EventQueue &queue, const Bus &bus,
 }
 
 BatchStats
-batchFromDelta(const Snapshot &prev, const Snapshot &cur)
+batchFromDelta(const Snapshot &prev, const Snapshot &cur,
+               const RunningStats &wait_stats)
 {
     BatchStats b;
     b.duration = ticksToUnits(cur.now - prev.now);
     BUSARB_ASSERT(b.duration > 0.0, "empty batch");
     const auto n = cur.totalCompletions - prev.totalCompletions;
-    const double wait_sum = cur.totalWaitSum - prev.totalWaitSum;
-    const double wait_sq = cur.totalWaitSqSum - prev.totalWaitSqSum;
+    BUSARB_ASSERT(wait_stats.count() == n,
+                  "batch wait accumulator out of sync: ",
+                  wait_stats.count(), " observations vs ", n,
+                  " completions");
     if (n > 0) {
-        b.waitMean = wait_sum / static_cast<double>(n);
-        const double var =
-            wait_sq / static_cast<double>(n) - b.waitMean * b.waitMean;
-        b.waitStddev = var > 0.0 ? std::sqrt(var) : 0.0;
+        b.waitMean = wait_stats.mean();
+        // Batch-local Welford: the variance is a sum of non-negative
+        // increments, so it cannot be driven negative by cancellation
+        // the way E[x^2] - E[x]^2 over cumulative sums can.
+        const double var = wait_stats.variancePopulation();
+        BUSARB_ASSERT(var >= 0.0, "negative batch wait variance: ", var);
+        b.waitStddev = std::sqrt(var);
     }
     b.utilization =
         static_cast<double>(cur.busyTicks - prev.busyTicks) /
@@ -171,6 +175,7 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     result.confidence = config.confidence;
     result.waitHistogram = Histogram(config.histBinWidth, config.histBins);
 
+    collector.beginBatch();
     Snapshot prev =
         takeSnapshot(queue, bus, collector, config.numAgents);
     for (int b = 0; b < config.numBatches; ++b) {
@@ -178,7 +183,9 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
                   (static_cast<std::uint64_t>(b) + 1) * config.batchSize);
         const Snapshot cur =
             takeSnapshot(queue, bus, collector, config.numAgents);
-        result.batches.push_back(batchFromDelta(prev, cur));
+        result.batches.push_back(
+            batchFromDelta(prev, cur, collector.batchWaitStats()));
+        collector.beginBatch();
         prev = cur;
     }
     result.waitHistogram = collector.histogram();
@@ -188,6 +195,41 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
                 collector.agentHistogram(a));
     }
     return result;
+}
+
+std::vector<ScenarioResult>
+runScenarioGrid(const std::vector<GridJob> &grid, int jobs)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto timed_run = [](const GridJob &job) {
+        const auto start = Clock::now();
+        ScenarioResult result = runScenario(job.config, job.factory);
+        result.elapsedMs =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start)
+                .count();
+        return result;
+    };
+
+    std::vector<ScenarioResult> results(grid.size());
+    const int workers = resolveJobCount(jobs);
+    if (workers == 1 || grid.size() <= 1) {
+        for (std::size_t i = 0; i < grid.size(); ++i)
+            results[i] = timed_run(grid[i]);
+        return results;
+    }
+
+    // Each cell owns its slot in the pre-sized vector, so workers never
+    // touch the same element and submission order is preserved without
+    // any post-hoc sorting.
+    JobPool pool(workers);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        pool.submit([&grid, &results, &timed_run, i] {
+            results[i] = timed_run(grid[i]);
+        });
+    }
+    pool.wait();
+    return results;
 }
 
 // ------------------------------------------------------- result helpers

@@ -68,6 +68,14 @@ struct ScenarioResult
     double confidence = 0.90;
     std::vector<BatchStats> batches;
 
+    /**
+     * Wall-clock time this scenario took to simulate, in milliseconds.
+     * Filled by runScenarioGrid (0 when the scenario was run directly
+     * through runScenario). Host timing only — never feeds back into
+     * the simulation, so results stay deterministic.
+     */
+    double elapsedMs = 0.0;
+
     /** Waiting-time histogram over the whole measurement period. */
     Histogram waitHistogram{0.25, 1200};
 
@@ -151,6 +159,34 @@ struct ScenarioResult
  */
 ScenarioResult runScenario(const ScenarioConfig &config,
                            const ProtocolFactory &factory);
+
+/** One cell of a scenario grid: a scenario and the protocol to run. */
+struct GridJob
+{
+    ScenarioConfig config;
+    ProtocolFactory factory;
+};
+
+/**
+ * Run a grid of independent scenarios, fanned out across threads.
+ *
+ * Each cell is fully hermetic — its own event queue, RNG (seeded from
+ * its config), bus, protocol instance, and collector — so the results
+ * are bit-identical to running the cells serially, in any thread
+ * interleaving. Results are returned in submission order; each result
+ * carries its per-scenario wall-clock time in elapsedMs.
+ *
+ * Cells whose config attaches a tracer are not safe to run in parallel
+ * with each other (tracers write to a shared stream); run those with
+ * jobs = 1.
+ *
+ * @param grid The scenarios to run.
+ * @param jobs Worker threads; <= 0 means one per hardware thread, 1
+ *        runs the cells serially on the calling thread.
+ * @return One result per grid cell, in submission order.
+ */
+std::vector<ScenarioResult>
+runScenarioGrid(const std::vector<GridJob> &grid, int jobs = 0);
 
 } // namespace busarb
 

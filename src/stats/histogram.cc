@@ -72,10 +72,19 @@ Histogram::quantile(double p) const
     const double target = p * static_cast<double>(total_);
     double cum = 0.0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue; // empty bins carry no mass and cannot satisfy p
+        if (target <= 0.0) // p = 0: the minimum of the support
+            return binWidth_ * static_cast<double>(i);
         cum += static_cast<double>(bins_[i]);
         if (cum >= target)
             return binWidth_ * static_cast<double>(i + 1);
     }
+    // The in-range mass was exhausted before reaching the target, so
+    // the quantile falls in the overflow bucket; clamp to its lower
+    // edge explicitly rather than by fall-through.
+    BUSARB_ASSERT(overflow_ > 0,
+                  "quantile target beyond all recorded mass: p = ", p);
     return binWidth_ * static_cast<double>(bins_.size());
 }
 

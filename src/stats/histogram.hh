@@ -62,8 +62,11 @@ class Histogram
      * Approximate quantile by inverse CDF over the bins.
      *
      * @param p Probability in [0, 1].
-     * @return Upper edge of the first bin where the CDF reaches p; returns
-     *         the overflow edge if p exceeds the in-range mass.
+     * @return Upper edge of the first non-empty bin where the CDF
+     *         reaches p. p = 0 returns the lower edge of the first
+     *         non-empty bin (the minimum of the support at bin
+     *         resolution); the overflow edge is returned only when the
+     *         target mass falls in the overflow bucket. 0 if empty.
      */
     double quantile(double p) const;
 

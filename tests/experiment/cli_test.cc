@@ -150,6 +150,48 @@ TEST(ArgParserTest, HelpTextListsAllFlags)
     }
 }
 
+TEST(NumericParseTest, ParseLongAcceptsWholeIntegersOnly)
+{
+    long v = 0;
+    EXPECT_TRUE(parseLong("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseLong("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseLong("", v));
+    EXPECT_FALSE(parseLong("7x", v));
+    EXPECT_FALSE(parseLong("x7", v));
+}
+
+TEST(NumericParseTest, ParseDoubleAcceptsWholeNumbersOnly)
+{
+    double v = 0.0;
+    EXPECT_TRUE(parseDouble("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(parseDouble("2.5e-1", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("0.5,", v));
+    EXPECT_FALSE(parseDouble("fast", v));
+}
+
+TEST(NumericParseTest, ListParsesAndSkipsEmptyTokens)
+{
+    const auto values =
+        parseDoubleListOrExit("prog", "loads", "0.25,,0.5,2");
+    EXPECT_EQ(values, (std::vector<double>{0.25, 0.5, 2.0}));
+}
+
+TEST(NumericParseDeathTest, BadListTokenExitsWithCode2)
+{
+    // The regression this guards: std::stod on a bad --loads token
+    // used to abort with an uncaught std::invalid_argument instead of
+    // a usage error naming the token.
+    EXPECT_EXIT(parseDoubleListOrExit("prog", "loads", "0.5,bogus"),
+                ::testing::ExitedWithCode(2), "bogus");
+    EXPECT_EXIT(parseDoubleTokenOrExit("prog", "loads", "1.5x"),
+                ::testing::ExitedWithCode(2), "1\\.5x");
+}
+
 TEST(ArgParserDeathTest, MisuseIsCaught)
 {
     auto parser = makeParser();

@@ -94,7 +94,39 @@ TEST(HistogramTest, QuantileInvertsCdf)
         h.add(i * 0.1); // uniform over [0, 10)
     EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
     EXPECT_NEAR(h.quantile(0.9), 9.0, 1.0);
-    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0); // first bin edge reached at 0
+    // p = 0 is the minimum of the support, not the first bin edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileZeroSkipsLeadingEmptyBins)
+{
+    Histogram h(1.0, 10);
+    h.add(3.5); // bin 3; bins 0-2 stay empty
+    h.add(3.6);
+    // The lower edge of the first non-empty bin, not bin 0's edge.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+TEST(HistogramTest, QuantileClampsToEdgeOnlyForOverflowMass)
+{
+    Histogram h(1.0, 2);
+    h.add(0.5);
+    h.add(5.0); // overflow
+    // In-range mass resolves normally...
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+    // ...and only a target inside the overflow mass clamps to the edge.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileZeroWithOnlyOverflowMassReturnsEdge)
+{
+    Histogram h(1.0, 2);
+    h.add(9.0); // everything beyond the bins
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
 }
 
 TEST(HistogramTest, ApproximateMeanIsExactSumBased)

@@ -14,17 +14,21 @@
  *   busarb_sim --protocol rr1 --worst-case --agents 10 --cv 0
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bus/trace.hh"
 #include "experiment/cli.hh"
+#include "experiment/job_pool.hh"
 #include "experiment/csv.hh"
 #include "experiment/protocols.hh"
 #include "experiment/report.hh"
 #include "experiment/runner.hh"
+#include "experiment/table.hh"
 #include "workload/scenario.hh"
 
 using namespace busarb;
@@ -73,6 +77,10 @@ main(int argc, char **argv)
                          "write the waiting-time histogram to this file");
     parser.addIntFlag("trace-events", 0,
                       "print the first K bus events as a timeline");
+    parser.addIntFlag("jobs", 0,
+                      "parallel scenario jobs for --compare runs (0 = "
+                      "one per hardware thread); results are identical "
+                      "at any job count");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
 
@@ -117,16 +125,35 @@ main(int argc, char **argv)
 
     std::cout << "busarb_sim: " << describeScenario(config) << "\n\n";
 
-    const ScenarioResult result =
-        runScenario(config, protocolFromSpec(parser.getString("protocol")));
-    printSummary(result, std::cout);
+    std::vector<GridJob> grid;
+    grid.push_back(
+        {config, protocolFromSpec(parser.getString("protocol"))});
+    if (!parser.getString("compare").empty())
+        grid.push_back(
+            {config, protocolFromSpec(parser.getString("compare"))});
 
-    if (!parser.getString("compare").empty()) {
-        std::cout << "\n";
-        const ScenarioResult other = runScenario(
-            config, protocolFromSpec(parser.getString("compare")));
-        printSummary(other, std::cout);
+    // A tracer writes to a shared stream while the simulation runs, so
+    // traced runs must stay serial; plain runs fan out.
+    const int jobs =
+        config.tracer != nullptr
+            ? 1
+            : resolveJobCount(static_cast<int>(parser.getInt("jobs")));
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ScenarioResult> results =
+        runScenarioGrid(grid, jobs);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const ScenarioResult &result = results.front();
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i > 0)
+            std::cout << "\n";
+        printSummary(results[i], std::cout);
     }
+    std::cout << "\njobs=" << jobs << " elapsed_ms="
+              << formatFixed(elapsed_ms, 0) << "\n";
 
     if (!parser.getString("batches-csv").empty()) {
         std::ofstream out(parser.getString("batches-csv"));
