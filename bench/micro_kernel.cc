@@ -130,6 +130,40 @@ BM_FullSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_FullSimulation)->Arg(0)->Arg(1)->Arg(2);
 
+void
+BM_FullSimulationObserved(benchmark::State &state)
+{
+    // Same saturated run as BM_FullSimulation/rr1, with the obs layer
+    // at each level: 0 = no tracer (the null-sink default, which must
+    // cost nothing measurable vs BM_FullSimulation), 1 = binary trace
+    // capture, 2 = capture plus a flight recorder.
+    ScenarioConfig config = equalLoadScenario(10, 2.0);
+    config.numBatches = 2;
+    config.batchSize = 5000;
+    config.warmup = 1000;
+    switch (state.range(0)) {
+      case 2:
+        config.flightRecorderEvents = 256;
+        [[fallthrough]];
+      case 1:
+        config.captureBinaryTrace = true;
+        break;
+      default:
+        break;
+    }
+    for (auto _ : state) {
+        auto result = runScenario(config, protocolByKey("rr1"));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (config.numBatches * config.batchSize +
+                             config.warmup));
+    static const char *labels[] = {"untraced", "binary-trace",
+                                   "trace+flight-recorder"};
+    state.SetLabel(labels[state.range(0)]);
+}
+BENCHMARK(BM_FullSimulationObserved)->Arg(0)->Arg(1)->Arg(2);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -1,9 +1,13 @@
 #!/bin/sh
 # Tier-1 integration check for the parallel sweep runner:
 #
-#   1. A small protocol x load sweep at --jobs 1 and --jobs 4 must
-#      produce byte-identical CSVs (every grid cell is hermetic, so
-#      thread interleaving must not be observable in the output).
+#   1. A small protocol x load sweep at --jobs 1 and --jobs 8 must
+#      produce byte-identical artifacts — the results CSV, the binary
+#      event trace (--trace-out), and the metrics export
+#      (--metrics-out). Every grid cell is hermetic, so thread
+#      interleaving must not be observable in any output. (The
+#      per-cell --timing-csv is host wall-clock and deliberately
+#      excluded from the comparison.)
 #   2. A malformed --loads token must exit with status 2 and name the
 #      offending token (regression for the unchecked std::stod abort).
 #
@@ -22,17 +26,39 @@ trap 'rm -rf "$tmp"' EXIT
 run_sweep() {
     "$sweep" --protocols rr1,fcfs1,aap1 --agents 8 --loads 0.5,2,7.5 \
              --batches 3 --batch-size 400 --jobs "$1" --csv "$2" \
-             > /dev/null
+             --trace-out "$3" --metrics-out "$4" \
+             --timing-csv "$5" > /dev/null
 }
 
-run_sweep 1 "$tmp/serial.csv"
-run_sweep 4 "$tmp/parallel.csv"
+run_sweep 1 "$tmp/serial.csv" "$tmp/serial.trace" \
+    "$tmp/serial-metrics.csv" "$tmp/serial-timing.csv"
+run_sweep 8 "$tmp/parallel.csv" "$tmp/parallel.trace" \
+    "$tmp/parallel-metrics.csv" "$tmp/parallel-timing.csv"
 
 if ! cmp -s "$tmp/serial.csv" "$tmp/parallel.csv"; then
-    echo "FAIL: --jobs 4 CSV differs from --jobs 1" >&2
+    echo "FAIL: --jobs 8 CSV differs from --jobs 1" >&2
     diff -u "$tmp/serial.csv" "$tmp/parallel.csv" >&2 || true
     exit 1
 fi
+
+if ! cmp -s "$tmp/serial.trace" "$tmp/parallel.trace"; then
+    echo "FAIL: --jobs 8 binary trace differs from --jobs 1" >&2
+    exit 1
+fi
+
+if ! cmp -s "$tmp/serial-metrics.csv" "$tmp/parallel-metrics.csv"; then
+    echo "FAIL: --jobs 8 metrics differ from --jobs 1" >&2
+    diff -u "$tmp/serial-metrics.csv" "$tmp/parallel-metrics.csv" \
+        >&2 || true
+    exit 1
+fi
+
+for f in serial.trace serial-metrics.csv serial-timing.csv; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "FAIL: artifact $f is empty" >&2
+        exit 1
+    fi
+done
 
 set +e
 "$sweep" --loads 0.5,bogus --agents 4 --batches 2 --batch-size 200 \
@@ -50,5 +76,5 @@ if ! grep -q "bogus" "$tmp/bad.out"; then
     exit 1
 fi
 
-echo "ok: parallel sweep byte-identical to serial; bad token rejected" \
-     "with exit 2"
+echo "ok: parallel sweep CSV, trace, and metrics byte-identical to" \
+     "serial; bad token rejected with exit 2"

@@ -1,0 +1,96 @@
+#!/bin/sh
+# Tier-1 integration check for the observability pipeline:
+#
+#   1. busarb_sim --trace-out captures a non-empty binary trace, and
+#      the bytes are identical between --jobs 1 and --jobs 8 on a
+#      --compare run (two grid cells).
+#   2. busarb_trace round-trips the file to Chrome trace-event JSON,
+#      an events CSV, and a latency CSV, and prints a breakdown.
+#   3. When python3 is available, the JSON must parse and contain a
+#      non-empty traceEvents array (ui.perfetto.dev loadability proxy);
+#      without python3 the validation is skipped (exit 77).
+#
+# Usage: check_trace_roundtrip.sh /path/to/busarb_sim /path/to/busarb_trace
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 /path/to/busarb_sim /path/to/busarb_trace" >&2
+    exit 2
+fi
+sim="$1"
+trace="$2"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_sim() {
+    "$sim" --protocol rr1 --compare fcfs1 --agents 6 --load 2.0 \
+           --batches 2 --batch-size 300 --warmup 300 --jobs "$1" \
+           --trace-out "$2" --metrics-out "$3" > /dev/null
+}
+
+run_sim 1 "$tmp/serial.trace" "$tmp/serial-metrics.csv"
+run_sim 8 "$tmp/parallel.trace" "$tmp/parallel-metrics.csv"
+
+for f in serial.trace serial-metrics.csv; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "FAIL: artifact $f is empty" >&2
+        exit 1
+    fi
+done
+
+if ! cmp -s "$tmp/serial.trace" "$tmp/parallel.trace"; then
+    echo "FAIL: --jobs 8 trace differs from --jobs 1" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/serial-metrics.csv" "$tmp/parallel-metrics.csv"; then
+    echo "FAIL: --jobs 8 metrics differ from --jobs 1" >&2
+    exit 1
+fi
+
+"$trace" "$tmp/serial.trace" --perfetto "$tmp/trace.json" \
+    --events-csv "$tmp/events.csv" --latency-csv "$tmp/latency.csv" \
+    --summary > "$tmp/summary.out"
+
+if ! grep -q "latency breakdown" "$tmp/summary.out"; then
+    echo "FAIL: busarb_trace printed no latency breakdown" >&2
+    cat "$tmp/summary.out" >&2
+    exit 1
+fi
+for f in trace.json events.csv latency.csv; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "FAIL: converter output $f is empty" >&2
+        exit 1
+    fi
+done
+
+# Both runs (rr1 and fcfs1) must appear as separate chunks.
+if ! grep -q "2 run(s)" "$tmp/summary.out"; then
+    echo "FAIL: expected 2 trace chunks in the summary" >&2
+    cat "$tmp/summary.out" >&2
+    exit 1
+fi
+
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "SKIP: python3 not available; JSON not validated" >&2
+    exit 77
+fi
+
+python3 - "$tmp/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+phases = {e["ph"] for e in events}
+for required in ("M", "i", "X"):
+    assert required in phases, f"no '{required}' events in trace"
+names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+assert "arbiter" in names, "arbiter track metadata missing"
+print(f"validated {len(events)} trace events")
+EOF
+
+echo "ok: trace byte-identical across job counts and round-trips to" \
+     "valid Chrome trace JSON"

@@ -105,7 +105,7 @@ Bus::passCompleted()
     passInProgress_ = false;
     const PassResult result = protocol_->completePass(queue_.now());
     if (tracer_ != nullptr) {
-        tracer_->onPassResolved(queue_.now(), result.winner,
+        tracer_->onPassResolved(queue_.now(), passStart_, result.winner,
                                 result.kind == PassResult::Kind::kRetry);
     }
     switch (result.kind) {

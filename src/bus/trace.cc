@@ -51,8 +51,10 @@ TextTracer::onPassStarted(Tick now)
 }
 
 void
-TextTracer::onPassResolved(Tick now, const Request &winner, bool retry)
+TextTracer::onPassResolved(Tick now, Tick pass_start,
+                           const Request &winner, bool retry)
 {
+    (void)pass_start;
     if (!admit())
         return;
     stamp(now);

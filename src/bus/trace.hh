@@ -50,14 +50,19 @@ class BusTracer
      * An arbitration pass resolved.
      *
      * @param now Resolution tick.
+     * @param pass_start Tick at which this pass began, so every
+     *        resolution record is self-contained (the flight recorder
+     *        may have evicted the matching onPassStarted event).
      * @param winner The winning request; invalid() for an empty pass
      *        (fairness release / round-robin wrap).
      * @param retry True when the protocol asked for an immediate retry.
      */
     virtual void
-    onPassResolved(Tick now, const Request &winner, bool retry)
+    onPassResolved(Tick now, Tick pass_start, const Request &winner,
+                   bool retry)
     {
         (void)now;
+        (void)pass_start;
         (void)winner;
         (void)retry;
     }
@@ -95,7 +100,7 @@ class TextTracer : public BusTracer
 
     void onRequestPosted(const Request &req) override;
     void onPassStarted(Tick now) override;
-    void onPassResolved(Tick now, const Request &winner,
+    void onPassResolved(Tick now, Tick pass_start, const Request &winner,
                         bool retry) override;
     void onTenureStarted(const Request &req, Tick now) override;
     void onTenureEnded(const Request &req, Tick now) override;

@@ -25,7 +25,7 @@ JobPool::JobPool(int num_threads)
 
 JobPool::~JobPool()
 {
-    wait();
+    drain();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -49,10 +49,23 @@ JobPool::submit(std::function<void()> job)
 }
 
 void
-JobPool::wait()
+JobPool::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+JobPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        allDone_.wait(lock, [this] { return unfinished_ == 0; });
+        error = std::exchange(firstError_, nullptr);
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -70,9 +83,16 @@ JobPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !firstError_)
+                firstError_ = error;
             --unfinished_;
             if (unfinished_ == 0)
                 allDone_.notify_all();

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -38,6 +39,13 @@ int resolveJobCount(int requested);
  * them beyond FIFO dispatch, so submitted work must be independent (or
  * synchronize on its own). The destructor waits for all submitted jobs
  * to finish before joining the workers.
+ *
+ * A job that throws does not take the process down: the first
+ * exception (in completion order) is captured and rethrown by the
+ * next wait() call on the submitting thread; later exceptions from the
+ * same batch are dropped. Jobs queued behind a throwing job still run.
+ * If the pool is destroyed without a final wait(), a captured
+ * exception is discarded (destructors must not throw).
  */
 class JobPool
 {
@@ -59,7 +67,12 @@ class JobPool
     /** Enqueue one job; runs on some worker, FIFO dispatch order. */
     void submit(std::function<void()> job);
 
-    /** Block until every job submitted so far has finished. */
+    /**
+     * Block until every job submitted so far has finished.
+     *
+     * @throws Rethrows the first exception a job raised since the
+     *         last wait(), after the queue has fully drained.
+     */
     void wait();
 
     /** @return Number of worker threads. */
@@ -71,6 +84,9 @@ class JobPool
   private:
     void workerLoop();
 
+    /** wait() without rethrow, for the destructor. */
+    void drain();
+
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
     std::mutex mutex_;
@@ -78,6 +94,7 @@ class JobPool
     std::condition_variable allDone_;
     std::size_t unfinished_ = 0; // queued + currently running jobs
     bool stopping_ = false;
+    std::exception_ptr firstError_; // first job exception since wait()
 };
 
 } // namespace busarb

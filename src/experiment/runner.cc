@@ -7,6 +7,9 @@
 
 #include "experiment/job_pool.hh"
 #include "experiment/metrics.hh"
+#include "obs/binary_trace.hh"
+#include "obs/fanout.hh"
+#include "obs/flight_recorder.hh"
 #include "random/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -90,6 +93,62 @@ batchFromDelta(const Snapshot &prev, const Snapshot &cur,
     return b;
 }
 
+/** Zero-padded "agent.NN." prefix so metric names sort numerically. */
+std::string
+agentMetricPrefix(AgentId agent, int num_agents)
+{
+    std::size_t width = 1;
+    for (int n = num_agents; n >= 10; n /= 10)
+        ++width;
+    std::string id = std::to_string(agent);
+    return "agent." + std::string(width - id.size(), '0') + id + ".";
+}
+
+/** Fill the per-run metrics registry from the final simulation state. */
+void
+populateMetrics(MetricsRegistry &m, const ScenarioConfig &config,
+                const EventQueue &queue, const Bus &bus,
+                const MetricsCollector &collector)
+{
+    m.counter("bus.completions").add(bus.completedTransactions());
+    m.counter("bus.passes").add(bus.arbitrationPasses());
+    m.counter("bus.retry_passes").add(bus.retryPasses());
+    m.counter("bus.busy_ticks")
+        .add(static_cast<std::uint64_t>(bus.busyTicks()));
+    m.counter("bus.exposed_arb_ticks")
+        .add(static_cast<std::uint64_t>(bus.exposedArbitrationTicks()));
+    m.gauge("bus.utilization")
+        .set(queue.now() > 0
+                 ? static_cast<double>(bus.busyTicks()) /
+                       static_cast<double>(queue.now())
+                 : 0.0);
+    m.gauge("sim.final_units").set(ticksToUnits(queue.now()));
+    const std::uint64_t n = collector.totalCompletions();
+    if (n > 0) {
+        m.gauge("wait.mean").set(collector.totalWaitSum() /
+                                 static_cast<double>(n));
+    }
+    for (AgentId a = 1; a <= config.numAgents; ++a) {
+        const MetricsCollector::AgentSums &sums = collector.agent(a);
+        const std::string prefix =
+            agentMetricPrefix(a, config.numAgents);
+        m.counter(prefix + "completions").add(sums.completions);
+        if (sums.completions > 0) {
+            m.gauge(prefix + "wait_mean")
+                .set(sums.waitSum /
+                     static_cast<double>(sums.completions));
+            m.gauge(prefix + "queue_wait_mean")
+                .set(sums.queueWaitSum /
+                     static_cast<double>(sums.completions));
+        }
+    }
+    if (config.collectHistogram) {
+        m.histogram("wait.histogram", config.histBinWidth,
+                    config.histBins)
+            .merge(collector.histogram());
+    }
+}
+
 } // namespace
 
 ScenarioResult
@@ -107,8 +166,31 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     BUSARB_ASSERT(protocol != nullptr, "protocol factory returned null");
     const std::string protocol_name = protocol->name();
     Bus bus(queue, std::move(protocol), config.numAgents, config.bus);
-    if (config.tracer != nullptr)
+
+    // Observability sinks share the bus's single tracer slot through a
+    // fanout. Each run owns its writer/recorder, so captures are
+    // hermetic (JobPool-safe and byte-identical at any --jobs count).
+    FanoutTracer fanout;
+    std::unique_ptr<BinaryTraceWriter> trace_writer;
+    std::unique_ptr<FlightRecorder> recorder;
+    std::unique_ptr<ScopedFlightRecorderDump> panic_dump;
+    if (config.captureBinaryTrace) {
+        trace_writer = std::make_unique<BinaryTraceWriter>(
+            config.numAgents, protocol_name);
+        fanout.add(trace_writer.get());
+    }
+    if (config.flightRecorderEvents > 0) {
+        recorder =
+            std::make_unique<FlightRecorder>(config.flightRecorderEvents);
+        panic_dump = std::make_unique<ScopedFlightRecorderDump>(*recorder);
+        fanout.add(recorder.get());
+    }
+    fanout.add(config.tracer);
+    if (fanout.size() == 1 && config.tracer != nullptr)
         bus.setTracer(config.tracer);
+    else if (fanout.size() > 0)
+        bus.setTracer(&fanout);
+
     MetricsCollector collector(config.numAgents, config.histBinWidth,
                                config.histBins);
 
@@ -175,9 +257,31 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     result.confidence = config.confidence;
     result.waitHistogram = Histogram(config.histBinWidth, config.histBins);
 
+    // Stream cumulative counters into the trace at batch boundaries so
+    // Perfetto shows progress tracks alongside the event timeline.
+    std::uint64_t completions_cid = 0;
+    std::uint64_t passes_cid = 0;
+    std::uint64_t retries_cid = 0;
+    if (trace_writer != nullptr) {
+        completions_cid = trace_writer->defineCounter("bus.completions");
+        passes_cid = trace_writer->defineCounter("bus.passes");
+        retries_cid = trace_writer->defineCounter("bus.retry_passes");
+    }
+    const auto emit_counters = [&] {
+        if (trace_writer == nullptr)
+            return;
+        trace_writer->counterUpdate(completions_cid, queue.now(),
+                                    bus.completedTransactions());
+        trace_writer->counterUpdate(passes_cid, queue.now(),
+                                    bus.arbitrationPasses());
+        trace_writer->counterUpdate(retries_cid, queue.now(),
+                                    bus.retryPasses());
+    };
+
     collector.beginBatch();
     Snapshot prev =
         takeSnapshot(queue, bus, collector, config.numAgents);
+    emit_counters();
     for (int b = 0; b < config.numBatches; ++b) {
         run_until(config.warmup +
                   (static_cast<std::uint64_t>(b) + 1) * config.batchSize);
@@ -187,6 +291,7 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
             batchFromDelta(prev, cur, collector.batchWaitStats()));
         collector.beginBatch();
         prev = cur;
+        emit_counters();
     }
     result.waitHistogram = collector.histogram();
     if (config.collectPerAgentHistograms) {
@@ -194,6 +299,9 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
             result.agentWaitHistograms.push_back(
                 collector.agentHistogram(a));
     }
+    if (trace_writer != nullptr)
+        result.binaryTrace = trace_writer->finish();
+    populateMetrics(result.metrics, config, queue, bus, collector);
     return result;
 }
 

@@ -9,12 +9,14 @@
 #ifndef BUSARB_EXPERIMENT_RUNNER_HH
 #define BUSARB_EXPERIMENT_RUNNER_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bus/protocol.hh"
+#include "obs/metrics_registry.hh"
 #include "stats/batch_means.hh"
 #include "stats/histogram.hh"
 #include "workload/scenario.hh"
@@ -78,6 +80,22 @@ struct ScenarioResult
 
     /** Waiting-time histogram over the whole measurement period. */
     Histogram waitHistogram{0.25, 1200};
+
+    /**
+     * Binary event trace of the run; empty unless
+     * ScenarioConfig::captureBinaryTrace was set. Decode with
+     * readTraceChunks (obs/binary_trace.hh) or feed to busarb_trace.
+     */
+    std::vector<std::uint8_t> binaryTrace;
+
+    /**
+     * Hierarchical metrics of the run (obs/metrics_registry.hh):
+     * bus.* counters, agent.NN.* per-agent measures, wait.* summary
+     * gauges (and wait.histogram when collectHistogram was set).
+     * Accumulated per run — never shared across JobPool workers — and
+     * mergeable deterministically by the caller.
+     */
+    MetricsRegistry metrics;
 
     /**
      * Per-agent waiting-time histograms (index i is agent i+1); empty

@@ -1,0 +1,131 @@
+#include "obs/flight_recorder.hh"
+
+#include <iostream>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    BUSARB_ASSERT(capacity >= 1, "flight recorder needs capacity >= 1");
+    ring_.reserve(capacity);
+}
+
+void
+FlightRecorder::record(const TraceEvent &event)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(event);
+    } else {
+        ring_[next_] = event;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++total_;
+}
+
+void
+FlightRecorder::onRequestPosted(const Request &req)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kRequestPosted;
+    ev.tick = req.issued;
+    ev.agent = req.agent;
+    ev.seq = req.seq;
+    ev.priority = req.priority;
+    record(ev);
+}
+
+void
+FlightRecorder::onPassStarted(Tick now)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kPassStarted;
+    ev.tick = now;
+    record(ev);
+}
+
+void
+FlightRecorder::onPassResolved(Tick now, Tick pass_start,
+                               const Request &winner, bool retry)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kPassResolved;
+    ev.tick = now;
+    ev.passStart = pass_start;
+    ev.retry = retry;
+    if (winner.valid()) {
+        ev.agent = winner.agent;
+        ev.seq = winner.seq;
+    }
+    record(ev);
+}
+
+void
+FlightRecorder::onTenureStarted(const Request &req, Tick now)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kTenureStarted;
+    ev.tick = now;
+    ev.agent = req.agent;
+    ev.seq = req.seq;
+    record(ev);
+}
+
+void
+FlightRecorder::onTenureEnded(const Request &req, Tick now)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kTenureEnded;
+    ev.tick = now;
+    ev.agent = req.agent;
+    ev.seq = req.seq;
+    record(ev);
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    return ring_.size();
+}
+
+std::vector<TraceEvent>
+FlightRecorder::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    if (ring_.size() < capacity_) {
+        out = ring_;
+        return out;
+    }
+    for (std::size_t i = 0; i < capacity_; ++i)
+        out.push_back(ring_[(next_ + i) % capacity_]);
+    return out;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    os << "flight recorder: last " << size() << " of " << total_
+       << " bus events\n";
+    for (const TraceEvent &ev : snapshot()) {
+        os << "  ";
+        printTraceEvent(ev, os);
+        os << "\n";
+    }
+}
+
+ScopedFlightRecorderDump::ScopedFlightRecorderDump(
+    const FlightRecorder &recorder)
+{
+    setPanicHook([&recorder] { recorder.dump(std::cerr); });
+}
+
+ScopedFlightRecorderDump::~ScopedFlightRecorderDump()
+{
+    setPanicHook(nullptr);
+}
+
+} // namespace busarb

@@ -1,0 +1,130 @@
+#include "obs/latency.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <unordered_map>
+
+namespace busarb {
+
+std::vector<RequestLatency>
+computeRequestLatencies(const TraceChunk &chunk)
+{
+    std::vector<RequestLatency> out;
+    std::unordered_map<std::uint64_t, Tick> issued;
+    std::unordered_map<std::uint64_t, Tick> exposed;
+    std::unordered_map<std::uint64_t, Tick> tenure_start;
+    bool busy = false;
+    Tick last_free = 0;
+    for (const TraceEvent &ev : chunk.events) {
+        switch (ev.kind) {
+          case TraceEventKind::kRequestPosted:
+            issued[ev.seq] = ev.tick;
+            break;
+          case TraceEventKind::kPassStarted:
+            break;
+          case TraceEventKind::kPassResolved:
+            if (ev.agent != kNoAgent) {
+                // Mirrors the engine: a pass that resolves while the
+                // bus is idle delayed the grant by the part of the
+                // pass that ran after the bus last became free.
+                exposed[ev.seq] =
+                    busy ? 0
+                         : ev.tick -
+                               std::max(ev.passStart, last_free);
+            }
+            break;
+          case TraceEventKind::kTenureStarted:
+            busy = true;
+            tenure_start[ev.seq] = ev.tick;
+            break;
+          case TraceEventKind::kTenureEnded: {
+            busy = false;
+            last_free = ev.tick;
+            const auto issue = issued.find(ev.seq);
+            const auto start = tenure_start.find(ev.seq);
+            if (issue == issued.end() || start == tenure_start.end())
+                break; // request predates the trace
+            RequestLatency r;
+            r.agent = ev.agent;
+            r.seq = ev.seq;
+            r.issued = issue->second;
+            r.service = ev.tick - start->second;
+            const auto exp = exposed.find(ev.seq);
+            r.exposedArb = exp == exposed.end() ? 0 : exp->second;
+            r.queue = start->second - issue->second - r.exposedArb;
+            out.push_back(r);
+            issued.erase(issue);
+            tenure_start.erase(start);
+            if (exp != exposed.end())
+                exposed.erase(exp);
+            break;
+          }
+          case TraceEventKind::kCounterUpdate:
+            break;
+        }
+    }
+    return out;
+}
+
+void
+LatencySummary::add(const RequestLatency &r)
+{
+    queue.set(ticksToUnits(r.queue));
+    exposedArb.set(ticksToUnits(r.exposedArb));
+    service.set(ticksToUnits(r.service));
+    wait.set(ticksToUnits(r.wait()));
+}
+
+LatencySummary
+summarizeLatencies(const std::vector<RequestLatency> &latencies)
+{
+    LatencySummary s;
+    for (const RequestLatency &r : latencies)
+        s.add(r);
+    return s;
+}
+
+void
+printLatencyBreakdown(const std::vector<TraceChunk> &chunks,
+                      std::ostream &os)
+{
+    os << "per-pass latency breakdown (transaction units, means):\n"
+       << std::left << std::setw(24) << "protocol" << std::right
+       << std::setw(10) << "requests" << std::setw(10) << "queue"
+       << std::setw(12) << "exp. arb" << std::setw(10) << "service"
+       << std::setw(10) << "W mean" << std::setw(10) << "W max"
+       << "\n";
+    os << std::fixed << std::setprecision(3);
+    for (const TraceChunk &chunk : chunks) {
+        const LatencySummary s =
+            summarizeLatencies(computeRequestLatencies(chunk));
+        os << std::left << std::setw(24) << chunk.protocol << std::right
+           << std::setw(10) << s.wait.count() << std::setw(10)
+           << s.queue.mean() << std::setw(12) << s.exposedArb.mean()
+           << std::setw(10) << s.service.mean() << std::setw(10)
+           << s.wait.mean() << std::setw(10)
+           << (s.wait.count() > 0 ? s.wait.max() : 0.0) << "\n";
+    }
+}
+
+void
+writeLatencyCsv(const std::vector<TraceChunk> &chunks, std::ostream &os)
+{
+    os << "chunk,protocol,agent,seq,issued,queue,exposed_arb,service,"
+          "wait\n";
+    int chunk_idx = 0;
+    for (const TraceChunk &chunk : chunks) {
+        for (const RequestLatency &r : computeRequestLatencies(chunk)) {
+            os << chunk_idx << "," << chunk.protocol << "," << r.agent
+               << "," << r.seq << "," << ticksToUnits(r.issued) << ","
+               << ticksToUnits(r.queue) << ","
+               << ticksToUnits(r.exposedArb) << ","
+               << ticksToUnits(r.service) << ","
+               << ticksToUnits(r.wait()) << "\n";
+        }
+        ++chunk_idx;
+    }
+}
+
+} // namespace busarb

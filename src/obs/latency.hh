@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-request latency breakdown from a decoded trace.
+ *
+ * Splits each served request's waiting time into the three components
+ * the paper's timing model distinguishes (Section 4.1): time queued
+ * behind other masters, arbitration overhead that was exposed (not
+ * hidden under a bus transfer), and the bus service time itself. The
+ * accounting mirrors the bus engine's own exposed-arbitration rule, so
+ * summing the exposed component over a trace reproduces the engine's
+ * exposedArbitrationTicks counter.
+ */
+
+#ifndef BUSARB_OBS_LATENCY_HH
+#define BUSARB_OBS_LATENCY_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/binary_trace.hh"
+#include "obs/metrics_registry.hh"
+
+namespace busarb {
+
+/** Latency components of one served request, in ticks. */
+struct RequestLatency
+{
+    AgentId agent = kNoAgent;
+    std::uint64_t seq = 0;
+
+    /** Tick the request was issued. */
+    Tick issued = 0;
+
+    /** Time queued behind other masters (excludes exposed arb). */
+    Tick queue = 0;
+
+    /** Arbitration overhead that delayed the grant. */
+    Tick exposedArb = 0;
+
+    /** Bus transfer time. */
+    Tick service = 0;
+
+    /** @return Full waiting time W = queue + exposedArb + service. */
+    Tick wait() const { return queue + exposedArb + service; }
+};
+
+/**
+ * Compute the latency breakdown for every request served in `chunk`.
+ * Requests still in flight when the trace ends are omitted.
+ *
+ * @param chunk One decoded trace chunk.
+ * @return Per-request latencies, in completion order.
+ */
+std::vector<RequestLatency>
+computeRequestLatencies(const TraceChunk &chunk);
+
+/** Summary statistics over one set of request latencies. */
+struct LatencySummary
+{
+    Gauge queue;      ///< queueing component, transaction units
+    Gauge exposedArb; ///< exposed arbitration, transaction units
+    Gauge service;    ///< service component, transaction units
+    Gauge wait;       ///< full waiting time W, transaction units
+
+    /** Fold one request in. */
+    void add(const RequestLatency &r);
+};
+
+/**
+ * Summarize a set of request latencies (values in transaction units).
+ */
+LatencySummary
+summarizeLatencies(const std::vector<RequestLatency> &latencies);
+
+/**
+ * Print a per-chunk latency breakdown table.
+ *
+ * @param chunks Decoded trace chunks.
+ * @param os Destination stream.
+ */
+void printLatencyBreakdown(const std::vector<TraceChunk> &chunks,
+                           std::ostream &os);
+
+/**
+ * Write one CSV row per served request across all chunks.
+ *
+ * Columns: chunk, protocol, agent, seq, issued, queue, exposed_arb,
+ * service, wait (time columns in transaction units).
+ *
+ * @param chunks Decoded trace chunks.
+ * @param os Destination stream.
+ */
+void writeLatencyCsv(const std::vector<TraceChunk> &chunks,
+                     std::ostream &os);
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_LATENCY_HH

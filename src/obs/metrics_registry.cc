@@ -1,0 +1,248 @@
+#include "obs/metrics_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+/** (name, kind) in global lexicographic name order. */
+std::vector<std::pair<const std::string *, Kind>>
+orderedNames(const std::map<std::string, Counter> &counters,
+             const std::map<std::string, Gauge> &gauges,
+             const std::map<std::string, Histogram> &histograms)
+{
+    std::vector<std::pair<const std::string *, Kind>> names;
+    names.reserve(counters.size() + gauges.size() + histograms.size());
+    for (const auto &[name, c] : counters)
+        names.emplace_back(&name, Kind::kCounter);
+    for (const auto &[name, g] : gauges)
+        names.emplace_back(&name, Kind::kGauge);
+    for (const auto &[name, h] : histograms)
+        names.emplace_back(&name, Kind::kHistogram);
+    std::sort(names.begin(), names.end(),
+              [](const auto &a, const auto &b) {
+                  return *a.first < *b.first;
+              });
+    return names;
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Control characters cannot appear raw in JSON; our
+                // metric names never contain them, but stay safe.
+                os << "\\u0020";
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Finite double, or null for the empty-gauge infinities. */
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+MetricsRegistry::checkKindFree(const std::string &name,
+                               const char *kind) const
+{
+    const bool is_counter = counters_.count(name) != 0;
+    const bool is_gauge = gauges_.count(name) != 0;
+    const bool is_hist = histograms_.count(name) != 0;
+    BUSARB_ASSERT((!is_counter || std::string(kind) == "counter") &&
+                  (!is_gauge || std::string(kind) == "gauge") &&
+                  (!is_hist || std::string(kind) == "histogram"),
+                  "metric '", name, "' redefined as a ", kind);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    checkKindFree(name, "counter");
+    return counters_[name];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    checkKindFree(name, "gauge");
+    return gauges_[name];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, double bin_width,
+                           std::size_t bins)
+{
+    checkKindFree(name, "histogram");
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(bin_width, bins)).first;
+    }
+    return it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &other,
+                           const std::string &prefix)
+{
+    for (const auto &[name, c] : other.counters_)
+        counter(prefix + name).merge(c);
+    for (const auto &[name, g] : other.gauges_)
+        gauge(prefix + name).merge(g);
+    for (const auto &[name, h] : other.histograms_)
+        histogram(prefix + name, h.binWidth(), h.numBins()).merge(h);
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    os << "name,kind,count,sum,min,max,p50,p90,p99\n";
+    for (const auto &[name, kind] :
+         orderedNames(counters_, gauges_, histograms_)) {
+        switch (kind) {
+          case Kind::kCounter:
+            os << *name << ",counter,"
+               << counters_.at(*name).value() << ",,,,,,\n";
+            break;
+          case Kind::kGauge: {
+            const Gauge &g = gauges_.at(*name);
+            os << *name << ",gauge," << g.count() << "," << g.sum()
+               << ",";
+            if (g.count() > 0)
+                os << g.min() << "," << g.max();
+            else
+                os << ",";
+            os << ",,,\n";
+            break;
+          }
+          case Kind::kHistogram: {
+            const Histogram &h = histograms_.at(*name);
+            os << *name << ",histogram," << h.count() << "," << h.sum()
+               << ",,," << h.quantile(0.50) << "," << h.quantile(0.90)
+               << "," << h.quantile(0.99) << "\n";
+            break;
+          }
+        }
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, kind] :
+         orderedNames(counters_, gauges_, histograms_)) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        writeJsonString(os, *name);
+        os << ": ";
+        switch (kind) {
+          case Kind::kCounter:
+            os << "{\"kind\": \"counter\", \"value\": "
+               << counters_.at(*name).value() << "}";
+            break;
+          case Kind::kGauge: {
+            const Gauge &g = gauges_.at(*name);
+            os << "{\"kind\": \"gauge\", \"count\": " << g.count()
+               << ", \"sum\": " << g.sum() << ", \"mean\": " << g.mean()
+               << ", \"min\": ";
+            writeJsonNumber(os, g.min());
+            os << ", \"max\": ";
+            writeJsonNumber(os, g.max());
+            os << "}";
+            break;
+          }
+          case Kind::kHistogram: {
+            const Histogram &h = histograms_.at(*name);
+            os << "{\"kind\": \"histogram\", \"bin_width\": "
+               << h.binWidth() << ", \"count\": " << h.count()
+               << ", \"sum\": " << h.sum() << ", \"overflow\": "
+               << h.overflow() << ", \"p50\": " << h.quantile(0.50)
+               << ", \"p90\": " << h.quantile(0.90) << ", \"p99\": "
+               << h.quantile(0.99) << ", \"bins\": [";
+            // Sparse [index, count] pairs keep large empty histograms
+            // from bloating the file.
+            bool first_bin = true;
+            for (std::size_t i = 0; i < h.numBins(); ++i) {
+                if (h.binCount(i) == 0)
+                    continue;
+                if (!first_bin)
+                    os << ", ";
+                first_bin = false;
+                os << "[" << i << ", " << h.binCount(i) << "]";
+            }
+            os << "]}";
+            break;
+          }
+        }
+    }
+    os << "\n}\n";
+}
+
+bool
+MetricsRegistry::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    if (json)
+        writeJson(out);
+    else
+        writeCsv(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace busarb

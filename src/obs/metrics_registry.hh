@@ -1,0 +1,189 @@
+/**
+ * @file
+ * A registry of hierarchically named metrics.
+ *
+ * Names are dot-separated paths ("bus.retry_passes",
+ * "agent.03.wait_mean"); the registry stores them in lexicographic
+ * order so every export is deterministic. Three metric kinds:
+ *
+ *  - Counter: a monotonically growing unsigned total; merge = sum.
+ *  - Gauge: a sampled real value; keeps count/sum/min/max so merges
+ *    stay exact (no "last value" ambiguity across workers).
+ *  - Histogram: fixed-bin-width distribution (stats/histogram.hh);
+ *    merge = bin-wise sum.
+ *
+ * Threading model: a registry is deliberately lock-free because it is
+ * never shared while hot. Each scenario run (each JobPool worker job)
+ * accumulates into its own registry; at the end the per-run registries
+ * are merged on one thread, in submission order, so the combined
+ * output is bit-identical at any --jobs count.
+ */
+
+#ifndef BUSARB_OBS_METRICS_REGISTRY_HH
+#define BUSARB_OBS_METRICS_REGISTRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "stats/histogram.hh"
+
+namespace busarb {
+
+/** A monotonically increasing unsigned total. */
+class Counter
+{
+  public:
+    /** Add `n` to the total. */
+    void add(std::uint64_t n = 1) { value_ += n; }
+
+    /** @return The current total. */
+    std::uint64_t value() const { return value_; }
+
+    /** Fold another counter in (sum). */
+    void merge(const Counter &other) { value_ += other.value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A sampled real value with exact-mergeable summary statistics. */
+class Gauge
+{
+  public:
+    /** Record one sample. */
+    void
+    set(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    /** @return Number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** @return Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** @return Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** @return Mean of samples; 0 when empty. */
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /** Fold another gauge in. */
+    void
+    merge(const Gauge &other)
+    {
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Deterministically ordered collection of named metrics.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Look up or create the counter `name`. */
+    Counter &counter(const std::string &name);
+
+    /** Look up or create the gauge `name`. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Look up or create the histogram `name`.
+     *
+     * @param name Metric name.
+     * @param bin_width Bin width on creation (ignored on lookup).
+     * @param bins Bin count on creation (ignored on lookup).
+     */
+    Histogram &histogram(const std::string &name,
+                         double bin_width = 0.25,
+                         std::size_t bins = 1200);
+
+    /** @return True when no metric has been created. */
+    bool empty() const;
+
+    /** @return Total number of metrics. */
+    std::size_t size() const;
+
+    /**
+     * Fold another registry into this one, optionally prefixing every
+     * incoming name ("rr1." + "bus.passes" -> "rr1.bus.passes").
+     * Metrics of the same resulting name must have the same kind (and,
+     * for histograms, the same binning).
+     *
+     * @param other Registry to merge from.
+     * @param prefix Prepended to each of `other`'s names.
+     */
+    void mergeFrom(const MetricsRegistry &other,
+                   const std::string &prefix = "");
+
+    /**
+     * Write all metrics as CSV.
+     *
+     * Columns: name, kind, count, sum, min, max, p50, p90, p99.
+     * Counters fill count only; gauges fill count/sum/min/max;
+     * histograms fill count/sum and the quantile columns. Unused
+     * fields are left empty.
+     *
+     * @param os Destination stream.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /**
+     * Write all metrics as a JSON object keyed by metric name, with
+     * full per-bin data for histograms.
+     *
+     * @param os Destination stream.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Write to `path`, choosing JSON when the extension is .json and
+     * CSV otherwise.
+     *
+     * @param path Destination file.
+     * @retval false The file could not be opened.
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    // One map per kind keeps the value types simple; exports interleave
+    // the three maps in global name order.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+
+    /** Panic if `name` already exists with a different kind. */
+    void checkKindFree(const std::string &name, const char *kind) const;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_METRICS_REGISTRY_HH

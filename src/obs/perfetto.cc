@@ -1,0 +1,174 @@
+#include "obs/perfetto.hh"
+
+#include <ostream>
+#include <unordered_map>
+
+namespace busarb {
+
+namespace {
+
+/** Minimal escaper; protocol names may carry spec punctuation. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << (static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+    }
+    os << '"';
+}
+
+class EventArray
+{
+  public:
+    explicit EventArray(std::ostream &os) : os_(os)
+    {
+        os_ << "{\"traceEvents\": [";
+    }
+
+    /** Start one event object; emits the separating comma. */
+    std::ostream &
+    next()
+    {
+        if (!first_)
+            os_ << ",";
+        first_ = false;
+        os_ << "\n ";
+        return os_;
+    }
+
+    void
+    close()
+    {
+        os_ << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    }
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+} // namespace
+
+void
+writePerfettoJson(const std::vector<TraceChunk> &chunks, std::ostream &os)
+{
+    EventArray out(os);
+    int pid = 0;
+    for (const TraceChunk &chunk : chunks) {
+        ++pid;
+        out.next() << "{\"name\": \"process_name\", \"ph\": \"M\", "
+                      "\"pid\": " << pid << ", \"args\": {\"name\": ";
+        jsonString(os, chunk.protocol);
+        os << "}}";
+        out.next() << "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                      "\"pid\": " << pid
+                   << ", \"tid\": 0, \"args\": {\"name\": \"arbiter\"}}";
+        for (int a = 1; a <= chunk.numAgents; ++a) {
+            out.next() << "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                          "\"pid\": " << pid << ", \"tid\": " << a
+                       << ", \"args\": {\"name\": \"agent " << a
+                       << "\"}}";
+        }
+
+        std::unordered_map<std::uint64_t, Tick> issued;
+        std::unordered_map<std::uint64_t, Tick> tenure_start;
+        for (const TraceEvent &ev : chunk.events) {
+            switch (ev.kind) {
+              case TraceEventKind::kRequestPosted:
+                issued[ev.seq] = ev.tick;
+                out.next()
+                    << "{\"name\": \"request\", \"ph\": \"i\", "
+                       "\"s\": \"t\", \"pid\": " << pid
+                    << ", \"tid\": " << ev.agent << ", \"ts\": "
+                    << ev.tick << ", \"args\": {\"seq\": " << ev.seq
+                    << ", \"priority\": "
+                    << (ev.priority ? "true" : "false") << "}}";
+                break;
+              case TraceEventKind::kPassStarted:
+                // The matching kPassResolved event carries the full
+                // pass interval; nothing to draw here.
+                break;
+              case TraceEventKind::kPassResolved: {
+                const char *name = ev.agent != kNoAgent ? "pass"
+                                   : ev.retry           ? "retry pass"
+                                                        : "idle pass";
+                out.next()
+                    << "{\"name\": \"" << name << "\", \"ph\": \"X\", "
+                       "\"pid\": " << pid << ", \"tid\": 0, \"ts\": "
+                    << ev.passStart << ", \"dur\": "
+                    << ev.tick - ev.passStart << ", \"args\": {";
+                if (ev.agent != kNoAgent)
+                    os << "\"winner\": " << ev.agent << ", \"seq\": "
+                       << ev.seq;
+                os << "}}";
+                break;
+              }
+              case TraceEventKind::kTenureStarted:
+                tenure_start[ev.seq] = ev.tick;
+                break;
+              case TraceEventKind::kTenureEnded: {
+                const auto start = tenure_start.find(ev.seq);
+                if (start == tenure_start.end())
+                    break; // tenure began before the trace started
+                out.next()
+                    << "{\"name\": \"tenure\", \"ph\": \"X\", \"pid\": "
+                    << pid << ", \"tid\": " << ev.agent << ", \"ts\": "
+                    << start->second << ", \"dur\": "
+                    << ev.tick - start->second
+                    << ", \"args\": {\"seq\": " << ev.seq;
+                const auto issue = issued.find(ev.seq);
+                if (issue != issued.end())
+                    os << ", \"wait_ticks\": "
+                       << ev.tick - issue->second;
+                os << "}}";
+                tenure_start.erase(start);
+                break;
+              }
+              case TraceEventKind::kCounterUpdate:
+                out.next() << "{\"name\": ";
+                jsonString(os, chunk.counterNames[static_cast<
+                                   std::size_t>(ev.counterId)]);
+                os << ", \"ph\": \"C\", \"pid\": " << pid
+                   << ", \"ts\": " << ev.tick
+                   << ", \"args\": {\"value\": " << ev.counterValue
+                   << "}}";
+                break;
+            }
+        }
+    }
+    out.close();
+}
+
+void
+writeEventsCsv(const std::vector<TraceChunk> &chunks, std::ostream &os)
+{
+    os << "chunk,protocol,tick,units,kind,agent,seq,priority,retry,"
+          "pass_start,counter,value\n";
+    int chunk_idx = 0;
+    for (const TraceChunk &chunk : chunks) {
+        for (const TraceEvent &ev : chunk.events) {
+            os << chunk_idx << "," << chunk.protocol << "," << ev.tick
+               << "," << ticksToUnits(ev.tick) << ","
+               << traceEventKindName(ev.kind) << "," << ev.agent << ","
+               << ev.seq << "," << (ev.priority ? 1 : 0) << ","
+               << (ev.retry ? 1 : 0) << ",";
+            if (ev.kind == TraceEventKind::kPassResolved)
+                os << ev.passStart;
+            os << ",";
+            if (ev.kind == TraceEventKind::kCounterUpdate) {
+                os << chunk.counterNames[static_cast<std::size_t>(
+                          ev.counterId)]
+                   << "," << ev.counterValue;
+            } else {
+                os << ",";
+            }
+            os << "\n";
+        }
+        ++chunk_idx;
+    }
+}
+
+} // namespace busarb

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (loadable in ui.perfetto.dev).
+ *
+ * Each trace chunk becomes one "process" named after its protocol;
+ * inside it, track (tid) 0 is the arbiter and track i is agent i, so a
+ * full arbitration timeline — request instants, arbitration passes,
+ * bus tenures, counter tracks — can be scrubbed visually. Timestamps
+ * are emitted in "microseconds" with 1 tick = 1 us, so one bus
+ * transaction time (1e6 ticks) renders as one second on the UI ruler.
+ */
+
+#ifndef BUSARB_OBS_PERFETTO_HH
+#define BUSARB_OBS_PERFETTO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/binary_trace.hh"
+
+namespace busarb {
+
+/**
+ * Write the chunks as one Chrome trace-event JSON document.
+ *
+ * @param chunks Decoded trace chunks (readTraceChunks).
+ * @param os Destination stream.
+ */
+void writePerfettoJson(const std::vector<TraceChunk> &chunks,
+                       std::ostream &os);
+
+/**
+ * Write the raw events as CSV, one row per event.
+ *
+ * Columns: chunk, protocol, tick, units, kind, agent, seq, priority,
+ * retry, pass_start, counter, value.
+ *
+ * @param chunks Decoded trace chunks.
+ * @param os Destination stream.
+ */
+void writeEventsCsv(const std::vector<TraceChunk> &chunks,
+                    std::ostream &os);
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_PERFETTO_HH

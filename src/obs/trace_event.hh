@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The decoded form of one bus observability event.
+ *
+ * The binary flight-recorder format (binary_trace.hh), the in-memory
+ * flight recorder (flight_recorder.hh) and the exporters (perfetto.hh,
+ * latency.hh) all speak this struct, so a trace can round-trip
+ * bus -> bytes -> events -> Perfetto JSON without loss.
+ */
+
+#ifndef BUSARB_OBS_TRACE_EVENT_HH
+#define BUSARB_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/** Kind of one observability event. Values are the on-disk record tags. */
+enum class TraceEventKind : std::uint8_t {
+    kRequestPosted = 1, ///< an agent asserted the request line
+    kPassStarted = 2,   ///< an arbitration pass began (competitors frozen)
+    kPassResolved = 3,  ///< an arbitration pass resolved
+    kTenureStarted = 4, ///< a bus tenure (transfer) began
+    kTenureEnded = 5,   ///< a bus tenure completed
+    kCounterUpdate = 6, ///< a named counter took a new value
+};
+
+/** @return A short lowercase name for `kind` (e.g. "request"). */
+const char *traceEventKindName(TraceEventKind kind);
+
+/**
+ * One decoded event. Fields beyond `kind` and `tick` are meaningful
+ * only for the kinds noted on each member.
+ */
+struct TraceEvent
+{
+    TraceEventKind kind = TraceEventKind::kRequestPosted;
+
+    /** Simulation tick of the event. */
+    Tick tick = 0;
+
+    /** Requesting/winning agent; kNoAgent when not applicable. */
+    AgentId agent = kNoAgent;
+
+    /** Request sequence number; 0 when not applicable. */
+    std::uint64_t seq = 0;
+
+    /** kRequestPosted: the request was urgent. */
+    bool priority = false;
+
+    /** kPassResolved: the protocol asked for an immediate retry. */
+    bool retry = false;
+
+    /** kPassResolved: tick at which this pass began. */
+    Tick passStart = 0;
+
+    /** kCounterUpdate: id into the chunk's counter-name table. */
+    std::uint64_t counterId = 0;
+
+    /** kCounterUpdate: the counter's value. */
+    std::uint64_t counterValue = 0;
+};
+
+/**
+ * Render one event as a single human-readable line (no newline).
+ *
+ * @param event The event.
+ * @param os Destination stream.
+ */
+void printTraceEvent(const TraceEvent &event, std::ostream &os);
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_TRACE_EVENT_HH

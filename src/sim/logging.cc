@@ -4,6 +4,19 @@
 #include <iostream>
 
 namespace busarb {
+
+namespace {
+
+thread_local std::function<void()> panic_hook;
+
+} // namespace
+
+void
+setPanicHook(std::function<void()> hook)
+{
+    panic_hook = std::move(hook);
+}
+
 namespace detail {
 
 void
@@ -11,6 +24,13 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
               << std::endl;
+    if (panic_hook) {
+        // Clear first so a panic raised by the hook cannot recurse.
+        const std::function<void()> hook = std::move(panic_hook);
+        panic_hook = nullptr;
+        hook();
+        std::cerr << std::flush;
+    }
     std::abort();
 }
 

@@ -13,10 +13,23 @@
 #ifndef BUSARB_SIM_LOGGING_HH
 #define BUSARB_SIM_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace busarb {
+
+/**
+ * Install a hook run (once) by panic() just before aborting, after the
+ * error banner is printed. The hook is thread-local, so each JobPool
+ * worker can register its own diagnostic dump (e.g. a flight-recorder
+ * tail — see obs/flight_recorder.hh) without racing other scenarios.
+ * Passing nullptr uninstalls. The hook is cleared before it runs, so a
+ * panic inside the hook cannot recurse.
+ *
+ * @param hook The callback, or nullptr to uninstall.
+ */
+void setPanicHook(std::function<void()> hook);
 
 namespace detail {
 

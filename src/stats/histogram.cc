@@ -37,6 +37,21 @@ Histogram::clear()
     sum_ = 0.0;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    BUSARB_ASSERT(other.binWidth_ == binWidth_ &&
+                  other.bins_.size() == bins_.size(),
+                  "merging histograms with different binning: ",
+                  other.binWidth_, "x", other.bins_.size(), " into ",
+                  binWidth_, "x", bins_.size());
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
+}
+
 double
 Histogram::cdf(double x) const
 {

@@ -34,6 +34,16 @@ class Histogram
     /** Remove all observations. */
     void clear();
 
+    /**
+     * Fold another histogram in (bin-wise sum).
+     *
+     * @param other Must have the same bin width and bin count.
+     */
+    void merge(const Histogram &other);
+
+    /** @return Exact sum of the recorded observations. */
+    double sum() const { return sum_; }
+
     /** @return Total number of observations. */
     std::uint64_t count() const { return total_; }
 

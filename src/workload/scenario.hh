@@ -7,6 +7,7 @@
 #ifndef BUSARB_WORKLOAD_SCENARIO_HH
 #define BUSARB_WORKLOAD_SCENARIO_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -53,6 +54,22 @@ struct ScenarioConfig
      * the runScenario call). Useful for short diagnostic runs.
      */
     BusTracer *tracer = nullptr;
+
+    /**
+     * Capture the whole run as a compact binary event trace
+     * (obs/binary_trace.hh); the bytes land in
+     * ScenarioResult::binaryTrace. Each run owns its buffer, so a
+     * parallel grid captures byte-identical traces to a serial one.
+     */
+    bool captureBinaryTrace = false;
+
+    /**
+     * Retain the last M bus events in a flight recorder
+     * (obs/flight_recorder.hh) and dump them to stderr if the run
+     * panics — most usefully on a ProtocolChecker contract violation.
+     * 0 disables.
+     */
+    std::size_t flightRecorderEvents = 0;
 
     /** @return Sum of agent offered loads. */
     double totalOfferedLoad() const;

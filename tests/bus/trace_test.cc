@@ -31,8 +31,10 @@ struct CountingTracer : BusTracer
     void onPassStarted(Tick) override { ++passStarts; }
 
     void
-    onPassResolved(Tick, const Request &winner, bool retry) override
+    onPassResolved(Tick now, Tick pass_start, const Request &winner,
+                   bool retry) override
     {
+        EXPECT_LE(pass_start, now);
         if (winner.valid())
             ++winners;
         if (retry)

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * JobPool failure-path tests: exception propagation through wait() and
+ * clean destructor drain with work still queued.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "experiment/job_pool.hh"
+
+namespace busarb {
+namespace {
+
+TEST(JobPoolFailure, ExceptionPropagatesToWait)
+{
+    JobPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(JobPoolFailure, ExceptionCarriesMessage)
+{
+    JobPool pool(1);
+    pool.submit([] { throw std::runtime_error("distinctive message"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "distinctive message");
+    }
+}
+
+TEST(JobPoolFailure, JobsBehindThrowingJobStillRun)
+{
+    JobPool pool(1); // serial worker forces FIFO execution
+    std::atomic<int> ran{0};
+    pool.submit([] { throw std::runtime_error("first"); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(JobPoolFailure, OnlyFirstExceptionIsKept)
+{
+    JobPool pool(1);
+    pool.submit([] { throw std::runtime_error("first"); });
+    pool.submit([] { throw std::logic_error("second"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown";
+    } catch (const std::runtime_error &err) {
+        EXPECT_STREQ(err.what(), "first");
+    } catch (const std::logic_error &) {
+        FAIL() << "second exception should have been dropped";
+    }
+}
+
+TEST(JobPoolFailure, WaitClearsStoredException)
+{
+    JobPool pool(2);
+    pool.submit([] { throw std::runtime_error("once"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error was consumed: a later healthy batch waits cleanly.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(JobPoolFailure, DestructorDrainsQueuedJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        JobPool pool(1);
+        // A slow head job guarantees the rest are still queued when the
+        // destructor runs.
+        pool.submit([] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        });
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&ran] { ++ran; });
+        // No wait(): destruction must drain the queue itself.
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(JobPoolFailure, DestructorSwallowsPendingException)
+{
+    // A captured job exception with no final wait() must not escape the
+    // destructor (destructors must not throw).
+    std::atomic<int> ran{0};
+    {
+        JobPool pool(2);
+        pool.submit([] { throw std::runtime_error("never observed"); });
+        pool.submit([&ran] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 1);
+}
+
+} // namespace
+} // namespace busarb

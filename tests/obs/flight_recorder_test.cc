@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Flight-recorder tests: ring-buffer retention, snapshot ordering, and
+ * the panic-hook dump that turns a contract violation into a readable
+ * bus timeline.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.hh"
+#include "sim/logging.hh"
+
+namespace busarb {
+namespace {
+
+Request
+makeRequest(AgentId agent, Tick issued, std::uint64_t seq)
+{
+    Request req;
+    req.agent = agent;
+    req.issued = issued;
+    req.seq = seq;
+    return req;
+}
+
+TEST(FlightRecorder, RetainsAllEventsBelowCapacity)
+{
+    FlightRecorder rec(8);
+    rec.onPassStarted(100);
+    rec.onPassStarted(200);
+    EXPECT_EQ(rec.size(), 2u);
+    EXPECT_EQ(rec.totalEvents(), 2u);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].tick, 100);
+    EXPECT_EQ(events[1].tick, 200);
+}
+
+TEST(FlightRecorder, EvictsOldestBeyondCapacity)
+{
+    FlightRecorder rec(3);
+    for (Tick t = 1; t <= 10; ++t)
+        rec.onPassStarted(t * 100);
+    EXPECT_EQ(rec.size(), 3u);
+    EXPECT_EQ(rec.totalEvents(), 10u);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    // Oldest first: ticks 800, 900, 1000 survive.
+    EXPECT_EQ(events[0].tick, 800);
+    EXPECT_EQ(events[1].tick, 900);
+    EXPECT_EQ(events[2].tick, 1000);
+}
+
+TEST(FlightRecorder, CapacityOneKeepsOnlyTheLastEvent)
+{
+    FlightRecorder rec(1);
+    rec.onRequestPosted(makeRequest(1, 100, 1));
+    rec.onTenureEnded(makeRequest(2, 100, 2), 900);
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.snapshot()[0].kind, TraceEventKind::kTenureEnded);
+    EXPECT_EQ(rec.snapshot()[0].agent, 2);
+}
+
+TEST(FlightRecorder, RecordsBusCallbackFields)
+{
+    FlightRecorder rec(8);
+    rec.onRequestPosted(makeRequest(3, 500, 11));
+    rec.onPassResolved(1500, 1000, makeRequest(3, 500, 11), false);
+    rec.onPassResolved(2500, 2000, Request{}, true);
+    const auto events = rec.snapshot();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].kind, TraceEventKind::kRequestPosted);
+    EXPECT_EQ(events[0].agent, 3);
+    EXPECT_EQ(events[0].seq, 11u);
+    EXPECT_EQ(events[1].kind, TraceEventKind::kPassResolved);
+    EXPECT_EQ(events[1].passStart, 1000);
+    EXPECT_EQ(events[1].agent, 3);
+    EXPECT_TRUE(events[2].retry);
+    EXPECT_EQ(events[2].agent, kNoAgent);
+}
+
+TEST(FlightRecorder, DumpPrintsTailWithTotals)
+{
+    FlightRecorder rec(2);
+    rec.onPassStarted(100);
+    rec.onPassStarted(200);
+    rec.onTenureStarted(makeRequest(4, 100, 9), 300);
+    std::ostringstream os;
+    rec.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("flight recorder: last 2 of 3 bus events"),
+              std::string::npos);
+    EXPECT_NE(text.find("tenure_start agent=4 seq=9"),
+              std::string::npos);
+    // Only one of the two pass_start events survived the eviction.
+    std::size_t pass_starts = 0;
+    for (std::size_t at = text.find("pass_start");
+         at != std::string::npos; at = text.find("pass_start", at + 1))
+        ++pass_starts;
+    EXPECT_EQ(pass_starts, 1u);
+}
+
+TEST(FlightRecorderDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(FlightRecorder rec(0), "capacity >= 1");
+}
+
+TEST(FlightRecorderDeathTest, PanicDumpsRecorderTail)
+{
+    // Satellite contract: a BUSARB_ASSERT failure (e.g. a
+    // ProtocolChecker contract violation) while a
+    // ScopedFlightRecorderDump guard is alive prints the recorder tail
+    // to stderr before aborting.
+    FlightRecorder rec(4);
+    rec.onRequestPosted(makeRequest(2, 1000, 5));
+    rec.onPassStarted(1000);
+    ScopedFlightRecorderDump guard(rec);
+    EXPECT_DEATH(BUSARB_ASSERT(false, "checker tripped"),
+                 "checker tripped(.|\n)*flight recorder: last 2 of 2 "
+                 "bus events(.|\n)*request agent=2 seq=5");
+}
+
+TEST(FlightRecorderDeathTest, HookUninstalledAfterGuardScope)
+{
+    FlightRecorder rec(4);
+    rec.onPassStarted(100);
+    {
+        ScopedFlightRecorderDump guard(rec);
+    }
+    // Guard gone: the panic message appears without any recorder dump.
+    EXPECT_DEATH(
+        {
+            BUSARB_PANIC("plain panic");
+        },
+        "plain panic");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Metrics registry tests: kinds, exact-mergeable gauges, prefixed
+ * merges, and deterministic CSV/JSON export.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.hh"
+
+namespace busarb {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndMerges)
+{
+    Counter a;
+    a.add();
+    a.add(41);
+    EXPECT_EQ(a.value(), 42u);
+    Counter b;
+    b.add(8);
+    a.merge(b);
+    EXPECT_EQ(a.value(), 50u);
+}
+
+TEST(MetricsRegistry, GaugeTracksExactSummary)
+{
+    Gauge g;
+    EXPECT_EQ(g.count(), 0u);
+    EXPECT_EQ(g.mean(), 0.0);
+    g.set(2.0);
+    g.set(-1.0);
+    g.set(5.0);
+    EXPECT_EQ(g.count(), 3u);
+    EXPECT_DOUBLE_EQ(g.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(g.min(), -1.0);
+    EXPECT_DOUBLE_EQ(g.max(), 5.0);
+    EXPECT_DOUBLE_EQ(g.mean(), 2.0);
+
+    Gauge h;
+    h.set(10.0);
+    g.merge(h);
+    EXPECT_EQ(g.count(), 4u);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0);
+    // Merging an empty gauge changes nothing (its infinities lose).
+    g.merge(Gauge{});
+    EXPECT_EQ(g.count(), 4u);
+    EXPECT_DOUBLE_EQ(g.min(), -1.0);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0);
+}
+
+TEST(MetricsRegistry, LooksUpByNameAndCountsMetrics)
+{
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.counter("bus.passes").add(3);
+    reg.counter("bus.passes").add(4); // same object
+    reg.gauge("wait.mean").set(1.5);
+    reg.histogram("wait.histogram", 0.5, 10).add(0.7);
+    EXPECT_FALSE(reg.empty());
+    EXPECT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.counter("bus.passes").value(), 7u);
+}
+
+TEST(MetricsRegistry, MergeFromAppliesPrefix)
+{
+    MetricsRegistry run;
+    run.counter("bus.passes").add(5);
+    run.gauge("wait.mean").set(2.0);
+    run.histogram("wait.histogram", 0.25, 8).add(1.1);
+
+    MetricsRegistry merged;
+    merged.mergeFrom(run, "rr1.");
+    merged.mergeFrom(run, "rr1."); // second run of the same cell
+    merged.mergeFrom(run, "fcfs1.");
+
+    EXPECT_EQ(merged.counter("rr1.bus.passes").value(), 10u);
+    EXPECT_EQ(merged.counter("fcfs1.bus.passes").value(), 5u);
+    EXPECT_EQ(merged.gauge("rr1.wait.mean").count(), 2u);
+    EXPECT_EQ(merged.histogram("rr1.wait.histogram", 0.25, 8).count(),
+              2u);
+    EXPECT_EQ(merged.size(), 6u);
+}
+
+TEST(MetricsRegistry, CsvIsSortedByNameAcrossKinds)
+{
+    MetricsRegistry reg;
+    reg.gauge("b.gauge").set(1.0);
+    reg.counter("c.counter").add(2);
+    reg.histogram("a.hist", 1.0, 4).add(0.5);
+
+    std::ostringstream os;
+    reg.writeCsv(os);
+    const std::string csv = os.str();
+    const auto header = csv.find("name,kind,count,sum,min,max,p50,p90,p99");
+    const auto a = csv.find("a.hist,histogram,");
+    const auto b = csv.find("b.gauge,gauge,");
+    const auto c = csv.find("c.counter,counter,2,");
+    ASSERT_NE(header, std::string::npos);
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    ASSERT_NE(c, std::string::npos);
+    EXPECT_LT(header, a);
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+}
+
+TEST(MetricsRegistry, EmptyGaugeExportsWithoutInfinities)
+{
+    MetricsRegistry reg;
+    reg.gauge("never.set");
+    std::ostringstream csv;
+    reg.writeCsv(csv);
+    EXPECT_EQ(csv.str().find("inf"), std::string::npos);
+
+    std::ostringstream json;
+    reg.writeJson(json);
+    EXPECT_EQ(json.str().find("inf"), std::string::npos);
+    EXPECT_NE(json.str().find("\"min\": null"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonCarriesSparseHistogramBins)
+{
+    MetricsRegistry reg;
+    Histogram &h = reg.histogram("w", 1.0, 8);
+    h.add(0.5); // bin 0
+    h.add(3.5); // bin 3
+    h.add(3.6); // bin 3
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("[0, 1], [3, 2]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteFilePicksFormatByExtension)
+{
+    MetricsRegistry reg;
+    reg.counter("x").add(1);
+
+    const std::string dir = ::testing::TempDir();
+    const std::string csv_path = dir + "/busarb_metrics_test.csv";
+    const std::string json_path = dir + "/busarb_metrics_test.json";
+    ASSERT_TRUE(reg.writeFile(csv_path));
+    ASSERT_TRUE(reg.writeFile(json_path));
+
+    std::ifstream csv(csv_path);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(csv, first_line));
+    EXPECT_EQ(first_line, "name,kind,count,sum,min,max,p50,p90,p99");
+
+    std::ifstream json(json_path);
+    char ch = 0;
+    ASSERT_TRUE(json.get(ch));
+    EXPECT_EQ(ch, '{');
+
+    EXPECT_FALSE(reg.writeFile(dir + "/no/such/dir/out.csv"));
+}
+
+TEST(MetricsRegistryDeathTest, KindConflictPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("bus.passes").add(1);
+    EXPECT_DEATH(reg.gauge("bus.passes"),
+                 "metric 'bus.passes' redefined as a gauge");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Exporter tests: the latency breakdown computed from a hand-built
+ * trace, and structural checks on the Chrome trace-event JSON and CSV
+ * outputs.
+ */
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/binary_trace.hh"
+#include "obs/latency.hh"
+#include "obs/perfetto.hh"
+#include "sim/types.hh"
+
+namespace busarb {
+namespace {
+
+Request
+makeRequest(AgentId agent, Tick issued, std::uint64_t seq)
+{
+    Request req;
+    req.agent = agent;
+    req.issued = issued;
+    req.seq = seq;
+    return req;
+}
+
+/**
+ * Two served requests on a 2-agent bus.
+ *
+ * Agent 1 (seq 1) requests at t=0 on an idle bus: its whole 0.5-unit
+ * arbitration pass is exposed, then a 1-unit transfer. Agent 2 (seq 2)
+ * requests at t=0.1u while that pass runs; its own pass starts when the
+ * bus frees at 1.5u, so its exposed share is again the full pass.
+ */
+TraceChunk
+buildTwoRequestChunk()
+{
+    BinaryTraceWriter writer(2, "synthetic");
+    const Tick half = kTicksPerUnit / 2;
+
+    writer.onRequestPosted(makeRequest(1, 0, 1));
+    writer.onPassStarted(0);
+    writer.onRequestPosted(makeRequest(2, kTicksPerUnit / 10, 2));
+    writer.onPassResolved(half, 0, makeRequest(1, 0, 1), false);
+    writer.onTenureStarted(makeRequest(1, 0, 1), half);
+    writer.onTenureEnded(makeRequest(1, 0, 1), half + kTicksPerUnit);
+    const Tick free_at = half + kTicksPerUnit; // 1.5 units
+    writer.onPassStarted(free_at);
+    writer.onPassResolved(free_at + half, free_at,
+                          makeRequest(2, kTicksPerUnit / 10, 2), false);
+    writer.onTenureStarted(makeRequest(2, 0, 2), free_at + half);
+    writer.onTenureEnded(makeRequest(2, 0, 2),
+                         free_at + half + kTicksPerUnit);
+
+    const auto chunks = readTraceChunks(writer.finish());
+    return chunks.front();
+}
+
+TEST(Latency, BreaksWaitIntoComponents)
+{
+    const TraceChunk chunk = buildTwoRequestChunk();
+    const auto latencies = computeRequestLatencies(chunk);
+    ASSERT_EQ(latencies.size(), 2u);
+    const Tick half = kTicksPerUnit / 2;
+
+    // First request: no queueing, fully exposed pass, 1-unit service.
+    EXPECT_EQ(latencies[0].agent, 1);
+    EXPECT_EQ(latencies[0].queue, 0);
+    EXPECT_EQ(latencies[0].exposedArb, half);
+    EXPECT_EQ(latencies[0].service, kTicksPerUnit);
+    EXPECT_EQ(latencies[0].wait(), half + kTicksPerUnit);
+
+    // Second request: issued at 0.1u, granted at 2.0u after a fully
+    // exposed 0.5u pass; the remaining 1.4u was queueing.
+    EXPECT_EQ(latencies[1].agent, 2);
+    EXPECT_EQ(latencies[1].exposedArb, half);
+    EXPECT_EQ(latencies[1].queue,
+              2 * kTicksPerUnit - kTicksPerUnit / 10 - half);
+    EXPECT_EQ(latencies[1].service, kTicksPerUnit);
+}
+
+TEST(Latency, SummaryAggregatesInUnits)
+{
+    const TraceChunk chunk = buildTwoRequestChunk();
+    const LatencySummary s =
+        summarizeLatencies(computeRequestLatencies(chunk));
+    EXPECT_EQ(s.wait.count(), 2u);
+    EXPECT_DOUBLE_EQ(s.service.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(s.exposedArb.mean(), 0.5);
+    EXPECT_DOUBLE_EQ(s.wait.max(), 0.5 + 1.4 + 1.0);
+}
+
+TEST(Latency, InFlightRequestsAreOmitted)
+{
+    BinaryTraceWriter writer(1, "p");
+    writer.onRequestPosted(makeRequest(1, 0, 1));
+    writer.onPassStarted(0);
+    writer.onPassResolved(100, 0, makeRequest(1, 0, 1), false);
+    writer.onTenureStarted(makeRequest(1, 0, 1), 100);
+    // Trace ends before the tenure completes.
+    const auto chunks = readTraceChunks(writer.finish());
+    EXPECT_TRUE(computeRequestLatencies(chunks.front()).empty());
+}
+
+TEST(Latency, BreakdownTableAndCsvRender)
+{
+    const std::vector<TraceChunk> chunks = {buildTwoRequestChunk()};
+
+    std::ostringstream table;
+    printLatencyBreakdown(chunks, table);
+    EXPECT_NE(table.str().find("synthetic"), std::string::npos);
+    EXPECT_NE(table.str().find("exp. arb"), std::string::npos);
+
+    std::ostringstream csv;
+    writeLatencyCsv(chunks, csv);
+    const std::string text = csv.str();
+    EXPECT_NE(
+        text.find(
+            "chunk,protocol,agent,seq,issued,queue,exposed_arb,service,"
+            "wait"),
+        std::string::npos);
+    // Header plus one row per served request.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(Perfetto, EmitsMetadataEventsAndCounters)
+{
+    BinaryTraceWriter writer(2, "proto \"quoted\"");
+    const std::uint64_t id = writer.defineCounter("bus.ops");
+    writer.onRequestPosted(makeRequest(1, 100, 1));
+    writer.onPassStarted(100);
+    writer.onPassResolved(200, 100, makeRequest(1, 100, 1), false);
+    writer.onTenureStarted(makeRequest(1, 100, 1), 200);
+    writer.counterUpdate(id, 300, 17);
+    writer.onTenureEnded(makeRequest(1, 100, 1), 400);
+    const auto chunks = readTraceChunks(writer.finish());
+
+    std::ostringstream os;
+    writePerfettoJson(chunks, os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.find("{\"traceEvents\": ["), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    // Process/track metadata.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("proto \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"arbiter\""), std::string::npos);
+    EXPECT_NE(json.find("\"agent 2\""), std::string::npos);
+    // One instant, one pass slice, one tenure slice, one counter.
+    EXPECT_NE(json.find("\"name\": \"request\", \"ph\": \"i\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"pass\", \"ph\": \"X\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"tenure\", \"ph\": \"X\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"wait_ticks\": 300"), std::string::npos);
+    // Balanced braces is a cheap structural sanity check; the ctest
+    // shell script validates with a real JSON parser.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Perfetto, EventsCsvHasOneRowPerEvent)
+{
+    const TraceChunk chunk = buildTwoRequestChunk();
+    std::ostringstream os;
+    writeEventsCsv({chunk}, os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.find("chunk,protocol,tick,units,kind,agent,seq,"
+                        "priority,retry,pass_start,counter,value"),
+              0u);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+              1 + static_cast<long>(chunk.events.size()));
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * End-to-end observability tests on the scenario runner: trace capture
+ * decodes and is byte-identical between serial and parallel grids, and
+ * the per-run metrics registry is populated consistently with the
+ * batch measurements.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "experiment/protocols.hh"
+#include "experiment/runner.hh"
+#include "obs/binary_trace.hh"
+#include "obs/latency.hh"
+#include "workload/scenario.hh"
+
+namespace busarb {
+namespace {
+
+ScenarioConfig
+smallConfig(double load)
+{
+    ScenarioConfig config = equalLoadScenario(6, load, 1.0);
+    config.numBatches = 2;
+    config.batchSize = 300;
+    config.warmup = 300;
+    config.captureBinaryTrace = true;
+    return config;
+}
+
+TEST(RunnerCapture, TraceDecodesAndCoversTheRun)
+{
+    const ScenarioConfig config = smallConfig(2.0);
+    const auto result = runScenario(config, protocolByKey("rr1"));
+    ASSERT_FALSE(result.binaryTrace.empty());
+
+    const auto chunks = readTraceChunks(result.binaryTrace);
+    ASSERT_EQ(chunks.size(), 1u);
+    const TraceChunk &chunk = chunks.front();
+    EXPECT_EQ(chunk.numAgents, config.numAgents);
+    EXPECT_EQ(chunk.protocol, result.protocolName);
+    EXPECT_FALSE(chunk.events.empty());
+    EXPECT_FALSE(chunk.counterNames.empty());
+
+    // Events are time-ordered; the trace spans warmup + all batches, so
+    // it must contain at least one tenure per completed request.
+    Tick last = 0;
+    std::uint64_t tenures = 0;
+    for (const TraceEvent &ev : chunk.events) {
+        EXPECT_GE(ev.tick, last);
+        last = ev.tick;
+        if (ev.kind == TraceEventKind::kTenureEnded)
+            ++tenures;
+    }
+    std::uint64_t measured = 0;
+    for (const auto &batch : result.batches)
+        for (const std::uint64_t c : batch.completions)
+            measured += c;
+    EXPECT_GE(tenures, measured);
+
+    // The decoded trace is rich enough for the latency pipeline.
+    EXPECT_FALSE(computeRequestLatencies(chunk).empty());
+}
+
+TEST(RunnerCapture, DisabledCaptureLeavesTraceEmpty)
+{
+    ScenarioConfig config = smallConfig(1.0);
+    config.captureBinaryTrace = false;
+    const auto result = runScenario(config, protocolByKey("rr1"));
+    EXPECT_TRUE(result.binaryTrace.empty());
+    // Metrics are always populated; they cost one pass at run end.
+    EXPECT_FALSE(result.metrics.empty());
+}
+
+TEST(RunnerCapture, MetricsMatchBatchMeasurements)
+{
+    auto result = runScenario(smallConfig(2.0), protocolByKey("fcfs1"));
+    MetricsRegistry &metrics = result.metrics;
+
+    std::uint64_t measured_completions = 0;
+    std::uint64_t measured_passes = 0;
+    for (const auto &batch : result.batches) {
+        measured_passes += batch.passes;
+        for (const std::uint64_t c : batch.completions)
+            measured_completions += c;
+    }
+    // The counters cover the whole run (warmup included), so they bound
+    // the measured-batch totals from above.
+    EXPECT_GE(metrics.counter("bus.completions").value(),
+              measured_completions);
+    EXPECT_GE(metrics.counter("bus.passes").value(), measured_passes);
+
+    // Per-agent completion counters partition the bus total.
+    std::uint64_t per_agent = 0;
+    for (int a = 1; a <= 6; ++a) {
+        per_agent += metrics
+                         .counter("agent." + std::to_string(a) +
+                                  ".completions")
+                         .value();
+    }
+    EXPECT_EQ(per_agent, metrics.counter("bus.completions").value());
+
+    EXPECT_EQ(metrics.gauge("wait.mean").count(), 1u);
+    EXPECT_GT(metrics.gauge("wait.mean").mean(), 0.0);
+    const double util = metrics.gauge("bus.utilization").mean();
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(RunnerCapture, ParallelGridMatchesSerialByteForByte)
+{
+    std::vector<GridJob> grid;
+    for (const char *key : {"rr1", "fcfs1"}) {
+        for (double load : {0.5, 2.0})
+            grid.push_back({smallConfig(load), protocolByKey(key)});
+    }
+    const auto serial = runScenarioGrid(grid, 1);
+    const auto parallel = runScenarioGrid(grid, 4);
+    ASSERT_EQ(serial.size(), grid.size());
+    ASSERT_EQ(parallel.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        // The acceptance bar: identical trace bytes at any job count.
+        EXPECT_EQ(serial[i].binaryTrace, parallel[i].binaryTrace)
+            << "cell " << i;
+        std::ostringstream a;
+        std::ostringstream b;
+        serial[i].metrics.writeCsv(a);
+        parallel[i].metrics.writeCsv(b);
+        EXPECT_EQ(a.str(), b.str()) << "cell " << i;
+    }
+}
+
+} // namespace
+} // namespace busarb

@@ -12,9 +12,13 @@
  *   busarb_sim --protocol rr3 --agents 4 --load 1.0 --trace-events 40
  *   busarb_sim --protocol fcfs2 --agents 16 --load 2.0 --settle-timing
  *   busarb_sim --protocol rr1 --worst-case --agents 10 --cv 0
+ *   busarb_sim --protocol rr1 --agents 8 --load 2.0 --trace-out run.trace \
+ *              --metrics-out run-metrics.csv
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -23,6 +27,7 @@
 
 #include "bus/trace.hh"
 #include "experiment/cli.hh"
+#include "obs/metrics_registry.hh"
 #include "experiment/job_pool.hh"
 #include "experiment/csv.hh"
 #include "experiment/protocols.hh"
@@ -77,6 +82,15 @@ main(int argc, char **argv)
                          "write the waiting-time histogram to this file");
     parser.addIntFlag("trace-events", 0,
                       "print the first K bus events as a timeline");
+    parser.addStringFlag("trace-out", "",
+                         "capture a binary event trace of every run to "
+                         "this file (decode with busarb_trace)");
+    parser.addStringFlag("metrics-out", "",
+                         "write merged run metrics to this file (.json "
+                         "for JSON, anything else for CSV)");
+    parser.addIntFlag("flight-recorder", 0,
+                      "retain the last M bus events and dump them to "
+                      "stderr if a run panics (0 disables)");
     parser.addIntFlag("jobs", 0,
                       "parallel scenario jobs for --compare runs (0 = "
                       "one per hardware thread); results are identical "
@@ -112,6 +126,9 @@ main(int argc, char **argv)
             static_cast<int>(parser.getInt("max-outstanding"));
     }
     config.collectHistogram = !parser.getString("histogram-csv").empty();
+    config.captureBinaryTrace = !parser.getString("trace-out").empty();
+    config.flightRecorderEvents = static_cast<std::size_t>(
+        std::max(0L, parser.getInt("flight-recorder")));
 
     const auto trace_events = parser.getInt("trace-events");
     std::unique_ptr<TextTracer> tracer;
@@ -176,6 +193,46 @@ main(int argc, char **argv)
         writeHistogramCsv(result, out);
         std::cout << "wrote waiting-time histogram CSV to "
                   << parser.getString("histogram-csv") << "\n";
+    }
+    if (!parser.getString("trace-out").empty()) {
+        // One self-contained chunk per run, concatenated in submission
+        // order — byte-identical at any job count.
+        std::ofstream out(parser.getString("trace-out"),
+                          std::ios::binary);
+        if (!out) {
+            std::cerr << "cannot write "
+                      << parser.getString("trace-out") << "\n";
+            return 1;
+        }
+        std::size_t bytes = 0;
+        for (const auto &r : results) {
+            out.write(reinterpret_cast<const char *>(
+                          r.binaryTrace.data()),
+                      static_cast<std::streamsize>(r.binaryTrace.size()));
+            bytes += r.binaryTrace.size();
+        }
+        if (!out) {
+            std::cerr << "error writing "
+                      << parser.getString("trace-out") << "\n";
+            return 1;
+        }
+        std::cout << "wrote binary trace (" << results.size()
+                  << " chunk(s), " << bytes << " bytes) to "
+                  << parser.getString("trace-out") << "\n";
+    }
+    if (!parser.getString("metrics-out").empty()) {
+        // Merge per-run registries in submission order, prefixed by
+        // protocol so a --compare run keeps the two apart.
+        MetricsRegistry merged;
+        for (const auto &r : results)
+            merged.mergeFrom(r.metrics, r.protocolName + ".");
+        if (!merged.writeFile(parser.getString("metrics-out"))) {
+            std::cerr << "cannot write "
+                      << parser.getString("metrics-out") << "\n";
+            return 1;
+        }
+        std::cout << "wrote metrics to "
+                  << parser.getString("metrics-out") << "\n";
     }
     return 0;
 }

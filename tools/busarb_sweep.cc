@@ -13,6 +13,7 @@
  */
 
 #include <chrono>
+#include <cstddef>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "experiment/cli.hh"
+#include "obs/metrics_registry.hh"
 #include "experiment/csv.hh"
 #include "experiment/job_pool.hh"
 #include "experiment/protocols.hh"
@@ -67,6 +69,16 @@ main(int argc, char **argv)
                       "thread, 1 = serial); any value produces "
                       "identical output");
     parser.addStringFlag("csv", "", "write CSV here instead of a table");
+    parser.addStringFlag("trace-out", "",
+                         "capture a binary event trace of every cell to "
+                         "this file (decode with busarb_trace)");
+    parser.addStringFlag("metrics-out", "",
+                         "write merged per-cell metrics to this file "
+                         "(.json for JSON, anything else for CSV)");
+    parser.addStringFlag("timing-csv", "",
+                         "write per-cell wall-clock timing here (host "
+                         "timing; varies run to run, so it is kept out "
+                         "of the deterministic --csv file)");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
 
@@ -103,6 +115,8 @@ main(int argc, char **argv)
         config.batchSize =
             static_cast<std::uint64_t>(parser.getInt("batch-size"));
         config.warmup = config.batchSize;
+        config.captureBinaryTrace =
+            !parser.getString("trace-out").empty();
         for (const auto &key : protocol_keys)
             grid.push_back({config, protocolFromSpec(key)});
     }
@@ -144,8 +158,74 @@ main(int argc, char **argv)
     } else {
         table.print(std::cout);
     }
-    // Timing goes to stdout, never into the CSV: the file must stay
-    // byte-identical across job counts.
+    if (!parser.getString("trace-out").empty()) {
+        std::ofstream out(parser.getString("trace-out"),
+                          std::ios::binary);
+        if (!out) {
+            std::cerr << "cannot write "
+                      << parser.getString("trace-out") << "\n";
+            return 1;
+        }
+        for (const auto &result : results) {
+            out.write(
+                reinterpret_cast<const char *>(result.binaryTrace.data()),
+                static_cast<std::streamsize>(result.binaryTrace.size()));
+        }
+        if (!out) {
+            std::cerr << "error writing "
+                      << parser.getString("trace-out") << "\n";
+            return 1;
+        }
+        std::cout << "wrote binary trace (" << results.size()
+                  << " chunks) to " << parser.getString("trace-out")
+                  << "\n";
+    }
+    if (!parser.getString("metrics-out").empty()) {
+        // One prefix per grid cell, in row-emission order.
+        MetricsRegistry merged;
+        std::size_t idx = 0;
+        for (const auto &token : load_tokens) {
+            for (const auto &key : protocol_keys) {
+                merged.mergeFrom(results[idx++].metrics,
+                                 "load=" + token + "." + key + ".");
+            }
+        }
+        if (!merged.writeFile(parser.getString("metrics-out"))) {
+            std::cerr << "cannot write "
+                      << parser.getString("metrics-out") << "\n";
+            return 1;
+        }
+        std::cout << "wrote metrics to "
+                  << parser.getString("metrics-out") << "\n";
+    }
+    if (!parser.getString("timing-csv").empty()) {
+        // Host wall-clock per cell. Deliberately a separate file from
+        // --csv: timing varies run to run while the results CSV must
+        // stay byte-identical across job counts.
+        std::ofstream out(parser.getString("timing-csv"));
+        if (!out) {
+            std::cerr << "cannot write "
+                      << parser.getString("timing-csv") << "\n";
+            return 1;
+        }
+        out << "label,protocol,elapsed_ms\n";
+        std::size_t idx = 0;
+        for (const auto &token : load_tokens) {
+            for (const auto &key : protocol_keys) {
+                out << "load=" << token << "," << key << ","
+                    << formatFixed(results[idx++].elapsedMs, 3) << "\n";
+            }
+        }
+        if (!out) {
+            std::cerr << "error writing "
+                      << parser.getString("timing-csv") << "\n";
+            return 1;
+        }
+        std::cout << "wrote per-cell timing to "
+                  << parser.getString("timing-csv") << "\n";
+    }
+    // Timing goes to stdout, never into the results CSV: that file must
+    // stay byte-identical across job counts.
     std::cout << "jobs=" << jobs << " elapsed_ms="
               << formatFixed(elapsed_ms, 0) << "\n";
     return 0;

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * busarb_trace — inspect and convert binary bus traces.
+ *
+ * Reads a trace file produced by --trace-out (busarb_sim or
+ * busarb_sweep) and converts it to Chrome trace-event JSON for
+ * ui.perfetto.dev, to a flat events CSV, or to a per-request latency
+ * CSV. With no output flags it prints a per-run latency breakdown
+ * (queueing vs exposed arbitration vs service):
+ *
+ *   busarb_trace run.trace
+ *   busarb_trace run.trace --perfetto run.json
+ *   busarb_trace run.trace --events-csv events.csv
+ *   busarb_trace run.trace --latency-csv latency.csv
+ */
+
+#include <cstdint>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "experiment/cli.hh"
+#include "obs/binary_trace.hh"
+#include "obs/latency.hh"
+#include "obs/perfetto.hh"
+
+using namespace busarb;
+
+namespace {
+
+bool
+readFile(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return !in.bad();
+}
+
+/** Open `path` and run `write(file)`; false on I/O failure. */
+template <typename WriteFn>
+bool
+writeTextFile(const std::string &path, WriteFn write)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "busarb_trace: cannot write " << path << "\n";
+        return false;
+    }
+    write(out);
+    if (!out) {
+        std::cerr << "busarb_trace: error writing " << path << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser parser("busarb_trace",
+                     "convert binary bus traces (--trace-out files) to "
+                     "Perfetto JSON or CSV, or summarize latencies");
+    parser.addStringFlag("perfetto", "",
+                         "write Chrome trace-event JSON here (open in "
+                         "ui.perfetto.dev)");
+    parser.addStringFlag("events-csv", "",
+                         "write one CSV row per trace event here");
+    parser.addStringFlag("latency-csv", "",
+                         "write one CSV row per served request here "
+                         "(queue / exposed-arb / service breakdown)");
+    parser.addBoolFlag("summary", false,
+                       "print the latency breakdown table even when an "
+                       "output flag is given");
+    if (!parser.parse(argc, argv))
+        return parser.exitCode();
+
+    if (parser.positional().size() != 1) {
+        std::cerr << "busarb_trace: expected exactly one input file "
+                     "(see --help)\n";
+        return 2;
+    }
+    const std::string &input = parser.positional().front();
+
+    std::vector<std::uint8_t> bytes;
+    if (!readFile(input, bytes)) {
+        std::cerr << "busarb_trace: cannot read " << input << "\n";
+        return 1;
+    }
+
+    std::vector<TraceChunk> chunks;
+    try {
+        chunks = readTraceChunks(bytes);
+    } catch (const std::exception &err) {
+        std::cerr << "busarb_trace: " << input << ": " << err.what()
+                  << "\n";
+        return 1;
+    }
+
+    const std::string perfetto_path = parser.getString("perfetto");
+    const std::string events_path = parser.getString("events-csv");
+    const std::string latency_path = parser.getString("latency-csv");
+    const bool any_output = !perfetto_path.empty() ||
+                            !events_path.empty() || !latency_path.empty();
+
+    if (!perfetto_path.empty()) {
+        if (!writeTextFile(perfetto_path, [&](std::ostream &os) {
+                writePerfettoJson(chunks, os);
+            }))
+            return 1;
+        std::cout << "wrote Perfetto JSON to " << perfetto_path << "\n";
+    }
+    if (!events_path.empty()) {
+        if (!writeTextFile(events_path, [&](std::ostream &os) {
+                writeEventsCsv(chunks, os);
+            }))
+            return 1;
+        std::cout << "wrote events CSV to " << events_path << "\n";
+    }
+    if (!latency_path.empty()) {
+        if (!writeTextFile(latency_path, [&](std::ostream &os) {
+                writeLatencyCsv(chunks, os);
+            }))
+            return 1;
+        std::cout << "wrote latency CSV to " << latency_path << "\n";
+    }
+
+    if (!any_output || parser.getBool("summary")) {
+        std::size_t total_events = 0;
+        for (const auto &chunk : chunks)
+            total_events += chunk.events.size();
+        std::cout << input << ": " << chunks.size() << " run(s), "
+                  << total_events << " events\n\n";
+        printLatencyBreakdown(chunks, std::cout);
+    }
+    return 0;
+}
