@@ -136,12 +136,17 @@ BM_FullSimulationObserved(benchmark::State &state)
     // Same saturated run as BM_FullSimulation/rr1, with the obs layer
     // at each level: 0 = no tracer (the null-sink default, which must
     // cost nothing measurable vs BM_FullSimulation), 1 = binary trace
-    // capture, 2 = capture plus a flight recorder.
+    // capture, 2 = capture plus a flight recorder, 3 = the fairness
+    // auditor alone (so its streaming bookkeeping can be priced
+    // against the untraced baseline).
     ScenarioConfig config = equalLoadScenario(10, 2.0);
     config.numBatches = 2;
     config.batchSize = 5000;
     config.warmup = 1000;
     switch (state.range(0)) {
+      case 3:
+        config.auditFairness = true;
+        break;
       case 2:
         config.flightRecorderEvents = 256;
         [[fallthrough]];
@@ -159,10 +164,11 @@ BM_FullSimulationObserved(benchmark::State &state)
                             (config.numBatches * config.batchSize +
                              config.warmup));
     static const char *labels[] = {"untraced", "binary-trace",
-                                   "trace+flight-recorder"};
+                                   "trace+flight-recorder",
+                                   "fairness-auditor"};
     state.SetLabel(labels[state.range(0)]);
 }
-BENCHMARK(BM_FullSimulationObserved)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FullSimulationObserved)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 } // namespace
 

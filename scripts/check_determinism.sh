@@ -4,21 +4,26 @@
 #   1. A small protocol x load sweep at --jobs 1 and --jobs 8 must
 #      produce byte-identical artifacts — the results CSV, the binary
 #      event trace (--trace-out), and the metrics export
-#      (--metrics-out). Every grid cell is hermetic, so thread
-#      interleaving must not be observable in any output. (The
-#      per-cell --timing-csv is host wall-clock and deliberately
-#      excluded from the comparison.)
-#   2. A malformed --loads token must exit with status 2 and name the
+#      (--metrics-out, including the fairness.* entries from the
+#      auditor). Every grid cell is hermetic, so thread interleaving
+#      must not be observable in any output. (The per-cell
+#      --timing-csv is host wall-clock and deliberately excluded from
+#      the comparison.)
+#   2. busarb_sim --snapshot-out emits the same JSONL bytes at
+#      --jobs 1 and --jobs 8: snapshots are keyed to simulated time,
+#      never to scheduling order.
+#   3. A malformed --loads token must exit with status 2 and name the
 #      offending token (regression for the unchecked std::stod abort).
 #
-# Usage: check_determinism.sh /path/to/busarb_sweep
+# Usage: check_determinism.sh /path/to/busarb_sweep /path/to/busarb_sim
 set -eu
 
-if [ $# -ne 1 ]; then
-    echo "usage: $0 /path/to/busarb_sweep" >&2
+if [ $# -ne 2 ]; then
+    echo "usage: $0 /path/to/busarb_sweep /path/to/busarb_sim" >&2
     exit 2
 fi
 sweep="$1"
+sim="$2"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -27,7 +32,7 @@ run_sweep() {
     "$sweep" --protocols rr1,fcfs1,aap1 --agents 8 --loads 0.5,2,7.5 \
              --batches 3 --batch-size 400 --jobs "$1" --csv "$2" \
              --trace-out "$3" --metrics-out "$4" \
-             --timing-csv "$5" > /dev/null
+             --timing-csv "$5" --fairness > /dev/null
 }
 
 run_sweep 1 "$tmp/serial.csv" "$tmp/serial.trace" \
@@ -53,12 +58,39 @@ if ! cmp -s "$tmp/serial-metrics.csv" "$tmp/parallel-metrics.csv"; then
     exit 1
 fi
 
+if ! grep -q "fairness\." "$tmp/serial-metrics.csv"; then
+    echo "FAIL: --fairness produced no fairness.* metrics" >&2
+    exit 1
+fi
+
 for f in serial.trace serial-metrics.csv serial-timing.csv; do
     if [ ! -s "$tmp/$f" ]; then
         echo "FAIL: artifact $f is empty" >&2
         exit 1
     fi
 done
+
+# Snapshot determinism: the fairness auditor's JSONL stream is keyed to
+# simulated time, so a two-cell --compare run must emit identical bytes
+# regardless of how the cells are scheduled across worker threads.
+run_snap() {
+    "$sim" --protocol rr1 --compare aap1 --agents 8 --load 7.6 \
+           --batches 2 --batch-size 400 --warmup 400 --jobs "$1" \
+           --snapshot-out "$2" --snapshot-every 100 > /dev/null
+}
+
+run_snap 1 "$tmp/serial.jsonl"
+run_snap 8 "$tmp/parallel.jsonl"
+
+if [ ! -s "$tmp/serial.jsonl" ]; then
+    echo "FAIL: --snapshot-out produced no snapshots" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/serial.jsonl" "$tmp/parallel.jsonl"; then
+    echo "FAIL: --jobs 8 snapshot JSONL differs from --jobs 1" >&2
+    diff -u "$tmp/serial.jsonl" "$tmp/parallel.jsonl" >&2 || true
+    exit 1
+fi
 
 set +e
 "$sweep" --loads 0.5,bogus --agents 4 --batches 2 --batch-size 200 \
@@ -76,5 +108,5 @@ if ! grep -q "bogus" "$tmp/bad.out"; then
     exit 1
 fi
 
-echo "ok: parallel sweep CSV, trace, and metrics byte-identical to" \
-     "serial; bad token rejected with exit 2"
+echo "ok: parallel sweep CSV, trace, metrics, and fairness snapshots" \
+     "byte-identical to serial; bad token rejected with exit 2"

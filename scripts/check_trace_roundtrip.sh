@@ -71,6 +71,45 @@ if ! grep -q "2 run(s)" "$tmp/summary.out"; then
     exit 1
 fi
 
+# The audit subcommand replays the same file through the fairness
+# auditor: one report per chunk, plus metrics and snapshot exports.
+"$trace" audit "$tmp/serial.trace" --metrics-out "$tmp/audit.csv" \
+    --snapshot-out "$tmp/audit.jsonl" --snapshot-every 100 \
+    > "$tmp/audit.out"
+if ! grep -q "fairness audit" "$tmp/audit.out"; then
+    echo "FAIL: audit subcommand printed no fairness report" >&2
+    cat "$tmp/audit.out" >&2
+    exit 1
+fi
+for f in audit.csv audit.jsonl; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "FAIL: audit output $f is empty" >&2
+        exit 1
+    fi
+done
+if ! grep -q "fairness\.grants" "$tmp/audit.csv"; then
+    echo "FAIL: audit metrics export lacks fairness.grants" >&2
+    exit 1
+fi
+
+# A truncated trace must be rejected with exit 2 and a clear message,
+# not a partial silent decode.
+head -c 40 "$tmp/serial.trace" > "$tmp/bad.trace"
+set +e
+"$trace" "$tmp/bad.trace" --summary > "$tmp/bad.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: truncated trace exited with $code, expected 2" >&2
+    cat "$tmp/bad.out" >&2
+    exit 1
+fi
+if ! grep -q "corrupt or truncated" "$tmp/bad.out"; then
+    echo "FAIL: truncated trace error lacks a clear message" >&2
+    cat "$tmp/bad.out" >&2
+    exit 1
+fi
+
 if ! command -v python3 > /dev/null 2>&1; then
     echo "SKIP: python3 not available; JSON not validated" >&2
     exit 77

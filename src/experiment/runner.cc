@@ -8,6 +8,8 @@
 #include "experiment/job_pool.hh"
 #include "experiment/metrics.hh"
 #include "obs/binary_trace.hh"
+#include "obs/export_format.hh"
+#include "obs/fairness_auditor.hh"
 #include "obs/fanout.hh"
 #include "obs/flight_recorder.hh"
 #include "random/rng.hh"
@@ -93,17 +95,6 @@ batchFromDelta(const Snapshot &prev, const Snapshot &cur,
     return b;
 }
 
-/** Zero-padded "agent.NN." prefix so metric names sort numerically. */
-std::string
-agentMetricPrefix(AgentId agent, int num_agents)
-{
-    std::size_t width = 1;
-    for (int n = num_agents; n >= 10; n /= 10)
-        ++width;
-    std::string id = std::to_string(agent);
-    return "agent." + std::string(width - id.size(), '0') + id + ".";
-}
-
 /** Fill the per-run metrics registry from the final simulation state. */
 void
 populateMetrics(MetricsRegistry &m, const ScenarioConfig &config,
@@ -184,6 +175,17 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
             std::make_unique<FlightRecorder>(config.flightRecorderEvents);
         panic_dump = std::make_unique<ScopedFlightRecorderDump>(*recorder);
         fanout.add(recorder.get());
+    }
+    std::unique_ptr<FairnessAuditor> auditor;
+    if (config.auditFairness || config.snapshotEveryUnits > 0.0) {
+        FairnessAuditorConfig fc;
+        fc.numAgents = config.numAgents;
+        fc.windowTicks = unitsToTicks(config.fairnessWindowUnits);
+        fc.bypassBound = config.bypassBound;
+        fc.snapshotEveryTicks = unitsToTicks(config.snapshotEveryUnits);
+        fc.label = protocol_name;
+        auditor = std::make_unique<FairnessAuditor>(fc);
+        fanout.add(auditor.get());
     }
     fanout.add(config.tracer);
     if (fanout.size() == 1 && config.tracer != nullptr)
@@ -302,6 +304,11 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     if (trace_writer != nullptr)
         result.binaryTrace = trace_writer->finish();
     populateMetrics(result.metrics, config, queue, bus, collector);
+    if (auditor != nullptr) {
+        auditor->finish(queue.now());
+        auditor->exportMetrics(result.metrics);
+        result.fairnessSnapshots = auditor->snapshots();
+    }
     return result;
 }
 

@@ -103,6 +103,14 @@ struct ScenarioResult
      */
     std::vector<Histogram> agentWaitHistograms;
 
+    /**
+     * Fairness snapshot JSONL (obs/fairness_auditor.hh); empty unless
+     * ScenarioConfig::snapshotEveryUnits was set. Keyed purely to
+     * simulated time, so the text is byte-identical at any --jobs
+     * count.
+     */
+    std::string fairnessSnapshots;
+
     /** @return Total system throughput (requests per unit time). */
     Estimate throughput() const;
 

@@ -1,0 +1,114 @@
+#include "obs/export_format.hh"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <system_error>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+std::string
+formatDouble(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0.0 ? "inf" : "-inf";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    BUSARB_ASSERT(res.ec == std::errc(), "to_chars failed for a double");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+formatUint(std::uint64_t v)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    BUSARB_ASSERT(res.ec == std::errc(), "to_chars failed for a uint");
+    return std::string(buf, res.ptr);
+}
+
+std::string
+formatInt(std::int64_t v)
+{
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    BUSARB_ASSERT(res.ec == std::errc(), "to_chars failed for an int");
+    return std::string(buf, res.ptr);
+}
+
+void
+writeJsonString(std::ostream &os, std::string_view s)
+{
+    static const char *const hex = "0123456789abcdef";
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const auto u = static_cast<unsigned char>(c);
+                os << "\\u00" << hex[(u >> 4) & 0xf] << hex[u & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << formatDouble(v);
+    else
+        os << "null";
+}
+
+void
+writeCsvField(std::ostream &os, std::string_view s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string_view::npos) {
+        os << s;
+        return;
+    }
+    os << '"';
+    for (const char c : s) {
+        if (c == '"')
+            os << "\"\"";
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+std::string
+agentMetricPrefix(AgentId agent, int num_agents)
+{
+    std::size_t width = 1;
+    for (int n = num_agents; n >= 10; n /= 10)
+        ++width;
+    const std::string id = formatInt(agent);
+    BUSARB_ASSERT(id.size() <= width, "agent id wider than the padding");
+    return "agent." + std::string(width - id.size(), '0') + id + ".";
+}
+
+} // namespace busarb

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Locale-independent text formatting for exported artifacts.
+ *
+ * Exported metrics, snapshots, and traces must be byte-identical across
+ * machines and across `--jobs` counts, so none of them may go through
+ * locale-sensitive iostream number formatting (a global locale with a
+ * comma decimal point or digit grouping would silently corrupt every
+ * CSV and JSON file). Everything here formats via std::to_chars with
+ * the shortest round-trip representation, and the JSON/CSV writers
+ * escape arbitrary names safely.
+ */
+
+#ifndef BUSARB_OBS_EXPORT_FORMAT_HH
+#define BUSARB_OBS_EXPORT_FORMAT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hh"
+
+namespace busarb {
+
+/**
+ * Shortest round-trip decimal representation of `v`, independent of
+ * any global or imbued locale. Non-finite values render as "inf",
+ * "-inf", or "nan" (JSON writers must special-case them).
+ *
+ * @param v The value.
+ * @return The formatted text.
+ */
+std::string formatDouble(double v);
+
+/** @return Locale-independent decimal text for an unsigned integer. */
+std::string formatUint(std::uint64_t v);
+
+/** @return Locale-independent decimal text for a signed integer. */
+std::string formatInt(std::int64_t v);
+
+/**
+ * Write `s` as a JSON string literal: quotes and backslashes escaped,
+ * control characters emitted as \u00XX.
+ *
+ * @param os Destination stream.
+ * @param s The raw text.
+ */
+void writeJsonString(std::ostream &os, std::string_view s);
+
+/**
+ * Write `v` as a JSON number, or `null` when it is not finite (JSON
+ * has no representation for infinities or NaN).
+ *
+ * @param os Destination stream.
+ * @param v The value.
+ */
+void writeJsonNumber(std::ostream &os, double v);
+
+/**
+ * Write one CSV field, quoting it (with doubled inner quotes) only
+ * when it contains a comma, quote, or newline.
+ *
+ * @param os Destination stream.
+ * @param s The raw field text.
+ */
+void writeCsvField(std::ostream &os, std::string_view s);
+
+/**
+ * Zero-padded "agent.NN." metric-name prefix, wide enough for
+ * `num_agents`, so per-agent metric names sort numerically.
+ *
+ * @param agent The agent (1..num_agents).
+ * @param num_agents Total number of agents.
+ * @return The prefix, e.g. "agent.03." when num_agents is 10..99.
+ */
+std::string agentMetricPrefix(AgentId agent, int num_agents);
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_EXPORT_FORMAT_HH

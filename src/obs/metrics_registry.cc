@@ -1,11 +1,11 @@
 #include "obs/metrics_registry.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <vector>
 
+#include "obs/export_format.hh"
 #include "sim/logging.hh"
 
 namespace busarb {
@@ -33,47 +33,6 @@ orderedNames(const std::map<std::string, Counter> &counters,
                   return *a.first < *b.first;
               });
     return names;
-}
-
-void
-writeJsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (const char c : s) {
-        switch (c) {
-          case '"':
-            os << "\\\"";
-            break;
-          case '\\':
-            os << "\\\\";
-            break;
-          case '\n':
-            os << "\\n";
-            break;
-          case '\t':
-            os << "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                // Control characters cannot appear raw in JSON; our
-                // metric names never contain them, but stay safe.
-                os << "\\u0020";
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
-/** Finite double, or null for the empty-gauge infinities. */
-void
-writeJsonNumber(std::ostream &os, double v)
-{
-    if (std::isfinite(v))
-        os << v;
-    else
-        os << "null";
 }
 
 } // namespace
@@ -147,27 +106,32 @@ MetricsRegistry::writeCsv(std::ostream &os) const
     os << "name,kind,count,sum,min,max,p50,p90,p99\n";
     for (const auto &[name, kind] :
          orderedNames(counters_, gauges_, histograms_)) {
+        writeCsvField(os, *name);
         switch (kind) {
           case Kind::kCounter:
-            os << *name << ",counter,"
-               << counters_.at(*name).value() << ",,,,,,\n";
+            os << ",counter," << formatUint(counters_.at(*name).value())
+               << ",,,,,,\n";
             break;
           case Kind::kGauge: {
             const Gauge &g = gauges_.at(*name);
-            os << *name << ",gauge," << g.count() << "," << g.sum()
-               << ",";
-            if (g.count() > 0)
-                os << g.min() << "," << g.max();
-            else
+            os << ",gauge," << formatUint(g.count()) << ","
+               << formatDouble(g.sum()) << ",";
+            if (g.count() > 0) {
+                os << formatDouble(g.min()) << ","
+                   << formatDouble(g.max());
+            } else {
                 os << ",";
+            }
             os << ",,,\n";
             break;
           }
           case Kind::kHistogram: {
             const Histogram &h = histograms_.at(*name);
-            os << *name << ",histogram," << h.count() << "," << h.sum()
-               << ",,," << h.quantile(0.50) << "," << h.quantile(0.90)
-               << "," << h.quantile(0.99) << "\n";
+            os << ",histogram," << formatUint(h.count()) << ","
+               << formatDouble(h.sum()) << ",,,"
+               << formatDouble(h.quantile(0.50)) << ","
+               << formatDouble(h.quantile(0.90)) << ","
+               << formatDouble(h.quantile(0.99)) << "\n";
             break;
           }
         }
@@ -190,13 +154,16 @@ MetricsRegistry::writeJson(std::ostream &os) const
         switch (kind) {
           case Kind::kCounter:
             os << "{\"kind\": \"counter\", \"value\": "
-               << counters_.at(*name).value() << "}";
+               << formatUint(counters_.at(*name).value()) << "}";
             break;
           case Kind::kGauge: {
             const Gauge &g = gauges_.at(*name);
-            os << "{\"kind\": \"gauge\", \"count\": " << g.count()
-               << ", \"sum\": " << g.sum() << ", \"mean\": " << g.mean()
-               << ", \"min\": ";
+            os << "{\"kind\": \"gauge\", \"count\": "
+               << formatUint(g.count()) << ", \"sum\": ";
+            writeJsonNumber(os, g.sum());
+            os << ", \"mean\": ";
+            writeJsonNumber(os, g.mean());
+            os << ", \"min\": ";
             writeJsonNumber(os, g.min());
             os << ", \"max\": ";
             writeJsonNumber(os, g.max());
@@ -206,11 +173,17 @@ MetricsRegistry::writeJson(std::ostream &os) const
           case Kind::kHistogram: {
             const Histogram &h = histograms_.at(*name);
             os << "{\"kind\": \"histogram\", \"bin_width\": "
-               << h.binWidth() << ", \"count\": " << h.count()
-               << ", \"sum\": " << h.sum() << ", \"overflow\": "
-               << h.overflow() << ", \"p50\": " << h.quantile(0.50)
-               << ", \"p90\": " << h.quantile(0.90) << ", \"p99\": "
-               << h.quantile(0.99) << ", \"bins\": [";
+               << formatDouble(h.binWidth()) << ", \"count\": "
+               << formatUint(h.count()) << ", \"sum\": ";
+            writeJsonNumber(os, h.sum());
+            os << ", \"overflow\": " << formatUint(h.overflow())
+               << ", \"p50\": ";
+            writeJsonNumber(os, h.quantile(0.50));
+            os << ", \"p90\": ";
+            writeJsonNumber(os, h.quantile(0.90));
+            os << ", \"p99\": ";
+            writeJsonNumber(os, h.quantile(0.99));
+            os << ", \"bins\": [";
             // Sparse [index, count] pairs keep large empty histograms
             // from bloating the file.
             bool first_bin = true;
@@ -220,7 +193,8 @@ MetricsRegistry::writeJson(std::ostream &os) const
                 if (!first_bin)
                     os << ", ";
                 first_bin = false;
-                os << "[" << i << ", " << h.binCount(i) << "]";
+                os << "[" << formatUint(i) << ", "
+                   << formatUint(h.binCount(i)) << "]";
             }
             os << "]}";
             break;

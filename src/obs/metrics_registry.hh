@@ -84,6 +84,26 @@ class Gauge
         return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
     }
 
+    /**
+     * Fold in a pre-summarized sample set (e.g. a RunningStats), as if
+     * each of its samples had been set() individually.
+     *
+     * @param count Number of samples; must be >= 1.
+     * @param sum Sum of the samples.
+     * @param min Smallest sample.
+     * @param max Largest sample.
+     */
+    void
+    mergeSummary(std::uint64_t count, double sum, double min, double max)
+    {
+        count_ += count;
+        sum_ += sum;
+        if (min < min_)
+            min_ = min;
+        if (max > max_)
+            max_ = max;
+    }
+
     /** Fold another gauge in. */
     void
     merge(const Gauge &other)

@@ -1,0 +1,77 @@
+#include "stats/fairness.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+double
+jainIndex(const std::vector<double> &xs)
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const double x : xs) {
+        BUSARB_ASSERT(x >= 0.0, "jainIndex needs non-negative shares");
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+WindowedFairness::WindowedFairness(Tick window_ticks, int slots)
+    : window_(window_ticks),
+      counts_(static_cast<std::size_t>(slots), 0.0)
+{
+    BUSARB_ASSERT(window_ticks >= 1, "window width must be >= 1 tick");
+    BUSARB_ASSERT(slots >= 1, "need at least one slot");
+}
+
+void
+WindowedFairness::closeOpenWindow()
+{
+    if (valueCount_ > 0) {
+        jain_.add(jainIndex(counts_));
+        valueMean_.add(valueSum_ / static_cast<double>(valueCount_));
+        ++closed_;
+        std::fill(counts_.begin(), counts_.end(), 0.0);
+        valueSum_ = 0.0;
+        valueCount_ = 0;
+    }
+}
+
+void
+WindowedFairness::closeThrough(Tick now)
+{
+    if (now < windowStart_ + window_)
+        return;
+    closeOpenWindow();
+    // The windows between the one just closed and the one containing
+    // `now` are empty by construction; jump straight to the live one.
+    windowStart_ += ((now - windowStart_) / window_) * window_;
+}
+
+void
+WindowedFairness::record(Tick now, int slot, double value)
+{
+    BUSARB_ASSERT(now >= windowStart_,
+                  "observation precedes the open window: tick ", now);
+    BUSARB_ASSERT(slot >= 0 &&
+                  static_cast<std::size_t>(slot) < counts_.size(),
+                  "slot out of range: ", slot);
+    closeThrough(now);
+    counts_[static_cast<std::size_t>(slot)] += 1.0;
+    valueSum_ += value;
+    ++valueCount_;
+}
+
+void
+WindowedFairness::finishAt(Tick end)
+{
+    closeThrough(end);
+    closeOpenWindow();
+}
+
+} // namespace busarb

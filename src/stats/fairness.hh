@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fairness quantification primitives: Jain's fairness index and a
+ * tumbling-window accumulator over simulated time.
+ *
+ * Jain's index J(x) = (sum x_i)^2 / (n * sum x_i^2) maps any allocation
+ * vector to (0, 1]: 1 when every agent receives an equal share, 1/n
+ * when a single agent receives everything. The paper argues RR/FCFS
+ * fairness qualitatively; these helpers let the fairness auditor
+ * (obs/fairness_auditor.hh) report it as a number per run and per
+ * window of simulated time.
+ */
+
+#ifndef BUSARB_STATS_FAIRNESS_HH
+#define BUSARB_STATS_FAIRNESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/welford.hh"
+
+namespace busarb {
+
+/**
+ * Jain's fairness index of an allocation vector.
+ *
+ * @param xs Per-agent allocations (all non-negative).
+ * @return (sum xs)^2 / (n * sum xs^2); 1.0 for an empty or all-zero
+ *         vector (no allocation observed means no observed unfairness).
+ */
+double jainIndex(const std::vector<double> &xs);
+
+/**
+ * Streams (tick, slot, value) observations into consecutive fixed-width
+ * windows of simulated time, closing windows as the clock advances.
+ *
+ * Each closed window with at least one observation contributes one
+ * sample to two summary accumulators: Jain's index over the per-slot
+ * observation counts in the window, and the mean observed value over
+ * the window. Windows with no observations are skipped (their Jain
+ * index is undefined). Because the windows are keyed purely to
+ * simulated time, the summaries are bit-identical however the run is
+ * scheduled across worker threads.
+ */
+class WindowedFairness
+{
+  public:
+    /**
+     * @param window_ticks Window width in ticks; must be >= 1.
+     * @param slots Number of slots (agents); must be >= 1.
+     */
+    WindowedFairness(Tick window_ticks, int slots);
+
+    /**
+     * Record one observation.
+     *
+     * @param now Observation tick; must not precede the open window.
+     * @param slot Slot index in [0, slots).
+     * @param value Observed value (e.g. a waiting time in units).
+     */
+    void record(Tick now, int slot, double value);
+
+    /**
+     * Close every window ending at or before `end`, plus the trailing
+     * partial window if it holds any observations (so short runs still
+     * report at least one window).
+     *
+     * @param end Final simulated tick of the stream.
+     */
+    void finishAt(Tick end);
+
+    /** @return Number of non-empty windows closed so far. */
+    std::uint64_t windowsClosed() const { return closed_; }
+
+    /** @return Jain's index over per-slot counts, per closed window. */
+    const RunningStats &windowJain() const { return jain_; }
+
+    /** @return Mean observed value, one sample per closed window. */
+    const RunningStats &windowValueMean() const { return valueMean_; }
+
+  private:
+    Tick window_;
+    Tick windowStart_ = 0;
+    std::vector<double> counts_; // per-slot counts in the open window
+    double valueSum_ = 0.0;
+    std::uint64_t valueCount_ = 0;
+    std::uint64_t closed_ = 0;
+    RunningStats jain_;
+    RunningStats valueMean_;
+
+    /** Close windows whose end lies at or before `now`. */
+    void closeThrough(Tick now);
+
+    /** Fold the open window into the summaries and reset it. */
+    void closeOpenWindow();
+};
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_FAIRNESS_HH

@@ -71,6 +71,31 @@ struct ScenarioConfig
      */
     std::size_t flightRecorderEvents = 0;
 
+    /**
+     * Attach a fairness auditor (obs/fairness_auditor.hh) for the run:
+     * per-agent bypass counts with bound checking, a starvation
+     * watchdog, and windowed Jain indices, exported as fairness.*
+     * metrics in ScenarioResult::metrics.
+     */
+    bool auditFairness = false;
+
+    /** Fairness window width in transaction units. */
+    double fairnessWindowUnits = 50.0;
+
+    /**
+     * Bypass bound audited at each grant; <= 0 selects the paper's RR
+     * guarantee of numAgents - 1.
+     */
+    int bypassBound = 0;
+
+    /**
+     * Emit a deterministic fairness snapshot (JSONL) every this many
+     * transaction units of simulated time into
+     * ScenarioResult::fairnessSnapshots; 0 disables. Implies
+     * auditFairness.
+     */
+    double snapshotEveryUnits = 0.0;
+
     /** @return Sum of agent offered loads. */
     double totalOfferedLoad() const;
 };

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Locale-independent export formatting tests.
+ */
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export_format.hh"
+
+namespace busarb {
+namespace {
+
+TEST(ExportFormat, FormatDoubleShortestRoundTrip)
+{
+    EXPECT_EQ(formatDouble(0.0), "0");
+    EXPECT_EQ(formatDouble(2.5), "2.5");
+    EXPECT_EQ(formatDouble(-0.1), "-0.1");
+    EXPECT_EQ(formatDouble(1e300), "1e+300");
+    // Round-trip: parsing the text recovers the exact value.
+    const double v = 0.30000000000000004;
+    EXPECT_EQ(std::stod(formatDouble(v)), v);
+}
+
+TEST(ExportFormat, FormatDoubleNonFinite)
+{
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(formatDouble(-std::numeric_limits<double>::infinity()),
+              "-inf");
+    EXPECT_EQ(formatDouble(std::nan("")), "nan");
+}
+
+TEST(ExportFormat, FormatIntegers)
+{
+    EXPECT_EQ(formatUint(0), "0");
+    EXPECT_EQ(formatUint(18446744073709551615ull),
+              "18446744073709551615");
+    EXPECT_EQ(formatInt(-42), "-42");
+}
+
+TEST(ExportFormat, JsonStringEscapesEverythingHostile)
+{
+    std::ostringstream os;
+    writeJsonString(os, "a\"b\\c\nd\te\x01"
+                        "f");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(ExportFormat, JsonNumberUsesNullForNonFinite)
+{
+    std::ostringstream os;
+    writeJsonNumber(os, 1.5);
+    os << " ";
+    writeJsonNumber(os, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(os.str(), "1.5 null");
+}
+
+TEST(ExportFormat, CsvFieldQuotesOnlyWhenNeeded)
+{
+    std::ostringstream plain;
+    writeCsvField(plain, "bus.passes");
+    EXPECT_EQ(plain.str(), "bus.passes");
+
+    std::ostringstream quoted;
+    writeCsvField(quoted, "load=0,5 \"x\"");
+    EXPECT_EQ(quoted.str(), "\"load=0,5 \"\"x\"\"\"");
+}
+
+TEST(ExportFormat, AgentMetricPrefixZeroPads)
+{
+    EXPECT_EQ(agentMetricPrefix(3, 8), "agent.3.");
+    EXPECT_EQ(agentMetricPrefix(3, 30), "agent.03.");
+    EXPECT_EQ(agentMetricPrefix(30, 30), "agent.30.");
+    EXPECT_EQ(agentMetricPrefix(7, 100), "agent.007.");
+}
+
+} // namespace
+} // namespace busarb

@@ -5,6 +5,7 @@
  */
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <string>
 
@@ -160,6 +161,73 @@ TEST(MetricsRegistry, WriteFilePicksFormatByExtension)
     EXPECT_EQ(ch, '{');
 
     EXPECT_FALSE(reg.writeFile(dir + "/no/such/dir/out.csv"));
+}
+
+TEST(MetricsRegistry, GaugeMergeSummaryFoldsPreAggregatedSamples)
+{
+    Gauge g;
+    g.set(2.0);
+    g.mergeSummary(3, 12.0, 1.0, 8.0);
+    EXPECT_EQ(g.count(), 4u);
+    EXPECT_DOUBLE_EQ(g.sum(), 14.0);
+    EXPECT_DOUBLE_EQ(g.min(), 1.0);
+    EXPECT_DOUBLE_EQ(g.max(), 8.0);
+}
+
+TEST(MetricsRegistry, JsonEscapesHostileMetricNames)
+{
+    MetricsRegistry reg;
+    reg.counter("run=\"x\"\\path\n.b\x01" "el").add(1);
+    std::ostringstream os;
+    reg.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("run=\\\"x\\\"\\\\path\\n.b\\u0001el"),
+              std::string::npos)
+        << json;
+    // The raw control characters must never reach the output.
+    EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvQuotesFieldsWithSeparators)
+{
+    MetricsRegistry reg;
+    reg.counter("load=0,5.passes").add(3);
+    std::ostringstream os;
+    reg.writeCsv(os);
+    EXPECT_NE(os.str().find("\"load=0,5.passes\",counter,3"),
+              std::string::npos)
+        << os.str();
+}
+
+TEST(MetricsRegistry, NumbersExportLocaleIndependently)
+{
+    // A stream whose locale renders 2.5 as "2,5" (comma decimal point,
+    // digit grouping) must not corrupt exports; every number goes
+    // through std::to_chars, bypassing iostream formatting entirely.
+    struct CommaPunct : std::numpunct<char>
+    {
+        char do_decimal_point() const override { return ','; }
+        char do_thousands_sep() const override { return '.'; }
+        std::string do_grouping() const override { return "\3"; }
+    };
+    MetricsRegistry reg;
+    reg.gauge("wait.mean").set(2.5);
+    reg.counter("bus.passes").add(1234567);
+    std::ostringstream csv, json;
+    csv.imbue(std::locale(csv.getloc(), new CommaPunct));
+    json.imbue(std::locale(json.getloc(), new CommaPunct));
+    reg.writeCsv(csv);
+    reg.writeJson(json);
+    EXPECT_NE(csv.str().find("wait.mean,gauge,1,2.5,2.5,2.5"),
+              std::string::npos)
+        << csv.str();
+    EXPECT_NE(csv.str().find("bus.passes,counter,1234567"),
+              std::string::npos)
+        << csv.str();
+    EXPECT_NE(json.str().find("\"sum\": 2.5"), std::string::npos);
+    EXPECT_NE(json.str().find("\"value\": 1234567"), std::string::npos);
+    // Shortest round-trip formatting: no trailing zero padding.
+    EXPECT_EQ(json.str().find("2.50"), std::string::npos);
 }
 
 TEST(MetricsRegistryDeathTest, KindConflictPanics)

@@ -170,6 +170,74 @@ TEST(Perfetto, EmitsMetadataEventsAndCounters)
               std::count(json.begin(), json.end(), ']'));
 }
 
+TEST(Perfetto, PairsTenureEventsIntoDurationSlices)
+{
+    const TraceChunk chunk = buildTwoRequestChunk();
+    std::ostringstream os;
+    writePerfettoJson({chunk}, os);
+    const std::string json = os.str();
+    const Tick half = kTicksPerUnit / 2;
+
+    // Each tenure_start/tenure_end pair collapses into one complete
+    // slice whose ts is the start tick and dur the tenure length; the
+    // request-to-completion wait rides along in args.
+    std::ostringstream slice1;
+    slice1 << "{\"name\": \"tenure\", \"ph\": \"X\", \"pid\": 1, "
+              "\"tid\": 1, \"ts\": " << half << ", \"dur\": "
+           << kTicksPerUnit << ", \"args\": {\"seq\": 1, "
+              "\"wait_ticks\": " << half + kTicksPerUnit << "}}";
+    EXPECT_NE(json.find(slice1.str()), std::string::npos) << json;
+    // Agent 2's tenure lands on its own track (tid 2).
+    std::ostringstream slice2;
+    slice2 << "{\"name\": \"tenure\", \"ph\": \"X\", \"pid\": 1, "
+              "\"tid\": 2, \"ts\": " << 2 * kTicksPerUnit;
+    EXPECT_NE(json.find(slice2.str()), std::string::npos) << json;
+    // Both pass slices carry their winner and full interval.
+    std::ostringstream pass;
+    pass << "{\"name\": \"pass\", \"ph\": \"X\", \"pid\": 1, "
+            "\"tid\": 0, \"ts\": 0, \"dur\": " << half
+         << ", \"args\": {\"winner\": 1, \"seq\": 1}}";
+    EXPECT_NE(json.find(pass.str()), std::string::npos) << json;
+}
+
+TEST(Perfetto, MapsChunksToPidsAndAgentsToTids)
+{
+    // Two runs in one trace file: each chunk becomes its own Perfetto
+    // process (pid 1, 2, ...) with the arbiter on tid 0 and agent k on
+    // tid k, so multi-run traces never interleave tracks.
+    BinaryTraceWriter first(2, "alpha");
+    first.onRequestPosted(makeRequest(1, 0, 1));
+    BinaryTraceWriter second(3, "beta");
+    second.onRequestPosted(makeRequest(3, 0, 1));
+    std::vector<std::uint8_t> bytes = first.finish();
+    const auto more = second.finish();
+    bytes.insert(bytes.end(), more.begin(), more.end());
+    const auto chunks = readTraceChunks(bytes);
+    ASSERT_EQ(chunks.size(), 2u);
+
+    std::ostringstream os;
+    writePerfettoJson(chunks, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"pid\": 1, \"args\": {\"name\": \"alpha\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 2, \"args\": {\"name\": \"beta\"}"),
+              std::string::npos);
+    // Thread metadata: arbiter tid 0 in both processes, agent tracks
+    // numbered per chunk (chunk 2 has three agents).
+    EXPECT_NE(json.find("\"pid\": 2, \"tid\": 0, \"args\": {\"name\": "
+                        "\"arbiter\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 2, \"tid\": 3, \"args\": {\"name\": "
+                        "\"agent 3\"}"),
+              std::string::npos);
+    EXPECT_EQ(json.find("\"pid\": 1, \"tid\": 3"), std::string::npos);
+    // The events themselves land in their owning process: chunk 2's
+    // request instant is on pid 2, tid 3.
+    EXPECT_NE(json.find("\"name\": \"request\", \"ph\": \"i\", \"s\": "
+                        "\"t\", \"pid\": 2, \"tid\": 3"),
+              std::string::npos);
+}
+
 TEST(Perfetto, EventsCsvHasOneRowPerEvent)
 {
     const TraceChunk chunk = buildTwoRequestChunk();

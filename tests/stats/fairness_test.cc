@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Jain's-index and tumbling-window fairness accumulator tests.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/fairness.hh"
+
+namespace busarb {
+namespace {
+
+TEST(JainIndex, EqualSharesScoreOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({7.5, 7.5}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({42.0}), 1.0);
+}
+
+TEST(JainIndex, SingleHogScoresOneOverN)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({10.0, 0.0, 0.0, 0.0}), 0.25);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 3.0}), 0.5);
+}
+
+TEST(JainIndex, EmptyAndAllZeroScoreOne)
+{
+    EXPECT_DOUBLE_EQ(jainIndex({}), 1.0);
+    EXPECT_DOUBLE_EQ(jainIndex({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(JainIndex, ScaleInvariant)
+{
+    const std::vector<double> base = {1.0, 2.0, 3.0, 4.0};
+    std::vector<double> scaled;
+    for (const double x : base)
+        scaled.push_back(1000.0 * x);
+    EXPECT_DOUBLE_EQ(jainIndex(base), jainIndex(scaled));
+}
+
+TEST(JainIndex, KnownUnevenVector)
+{
+    // J = (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+    EXPECT_DOUBLE_EQ(jainIndex({1.0, 2.0, 3.0}), 36.0 / 42.0);
+}
+
+TEST(WindowedFairness, SingleWindowSummaries)
+{
+    WindowedFairness w(100, 2);
+    w.record(10, 0, 2.0);
+    w.record(20, 1, 4.0);
+    w.record(30, 0, 6.0);
+    w.finishAt(100);
+    EXPECT_EQ(w.windowsClosed(), 1u);
+    // Counts {2, 1}: J = 9 / (2 * 5).
+    EXPECT_DOUBLE_EQ(w.windowJain().mean(), 0.9);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().mean(), 4.0);
+}
+
+TEST(WindowedFairness, WindowsCloseAsTimeAdvances)
+{
+    WindowedFairness w(100, 2);
+    w.record(10, 0, 1.0); // window [0, 100)
+    w.record(150, 1, 3.0); // closes the first window
+    EXPECT_EQ(w.windowsClosed(), 1u);
+    EXPECT_DOUBLE_EQ(w.windowJain().mean(), 0.5); // counts {1, 0}
+    w.finishAt(200);
+    EXPECT_EQ(w.windowsClosed(), 2u);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().min(), 1.0);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().max(), 3.0);
+}
+
+TEST(WindowedFairness, EmptyWindowsAreSkipped)
+{
+    WindowedFairness w(10, 3);
+    w.record(5, 0, 1.0);
+    // Jump far ahead: the gap windows hold nothing and must not count.
+    w.record(1005, 2, 2.0);
+    w.finishAt(1010);
+    EXPECT_EQ(w.windowsClosed(), 2u);
+}
+
+TEST(WindowedFairness, TrailingPartialWindowCounts)
+{
+    WindowedFairness w(1000, 2);
+    w.record(10, 0, 5.0);
+    w.finishAt(20); // run ends mid-window
+    EXPECT_EQ(w.windowsClosed(), 1u);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().mean(), 5.0);
+}
+
+TEST(WindowedFairness, NoObservationsNoWindows)
+{
+    WindowedFairness w(10, 4);
+    w.finishAt(100);
+    EXPECT_EQ(w.windowsClosed(), 0u);
+    EXPECT_EQ(w.windowJain().count(), 0u);
+}
+
+TEST(WindowedFairness, ObservationOnWindowBoundaryOpensNextWindow)
+{
+    WindowedFairness w(100, 1);
+    w.record(0, 0, 1.0);
+    w.record(100, 0, 2.0); // first tick of the second window
+    w.finishAt(200);
+    EXPECT_EQ(w.windowsClosed(), 2u);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().min(), 1.0);
+    EXPECT_DOUBLE_EQ(w.windowValueMean().max(), 2.0);
+}
+
+TEST(WindowedFairnessDeathTest, RejectsBadConstruction)
+{
+    EXPECT_DEATH(WindowedFairness(0, 2), "window width");
+    EXPECT_DEATH(WindowedFairness(10, 0), "at least one slot");
+}
+
+TEST(WindowedFairnessDeathTest, RejectsOutOfRangeSlot)
+{
+    WindowedFairness w(10, 2);
+    EXPECT_DEATH(w.record(5, 2, 1.0), "slot out of range");
+}
+
+} // namespace
+} // namespace busarb

@@ -91,6 +91,22 @@ main(int argc, char **argv)
     parser.addIntFlag("flight-recorder", 0,
                       "retain the last M bus events and dump them to "
                       "stderr if a run panics (0 disables)");
+    parser.addBoolFlag("fairness", false,
+                       "attach the fairness auditor: per-agent bypass "
+                       "counts with N-1 bound checking, starvation "
+                       "watchdog, Jain indices (fairness.* metrics)");
+    parser.addDoubleFlag("fairness-window", 50.0,
+                         "fairness window width, transaction units");
+    parser.addIntFlag("bypass-bound", 0,
+                      "audited bypass bound per grant (0 = the paper's "
+                      "RR guarantee, N-1)");
+    parser.addStringFlag("snapshot-out", "",
+                         "write deterministic fairness snapshots (JSONL, "
+                         "byte-identical at any --jobs) to this file; "
+                         "requires --snapshot-every");
+    parser.addDoubleFlag("snapshot-every", 0.0,
+                         "snapshot interval in simulated transaction "
+                         "units; requires --snapshot-out");
     parser.addIntFlag("jobs", 0,
                       "parallel scenario jobs for --compare runs (0 = "
                       "one per hardware thread); results are identical "
@@ -129,6 +145,22 @@ main(int argc, char **argv)
     config.captureBinaryTrace = !parser.getString("trace-out").empty();
     config.flightRecorderEvents = static_cast<std::size_t>(
         std::max(0L, parser.getInt("flight-recorder")));
+    const std::string snapshot_path = parser.getString("snapshot-out");
+    const double snapshot_every = parser.getDouble("snapshot-every");
+    if (snapshot_path.empty() != (snapshot_every <= 0.0)) {
+        std::cerr << "busarb_sim: --snapshot-out and --snapshot-every "
+                     "must be given together\n";
+        return 2;
+    }
+    config.auditFairness =
+        parser.getBool("fairness") || !snapshot_path.empty();
+    config.fairnessWindowUnits = parser.getDouble("fairness-window");
+    config.bypassBound = static_cast<int>(parser.getInt("bypass-bound"));
+    config.snapshotEveryUnits = snapshot_every;
+    if (config.auditFairness && config.fairnessWindowUnits <= 0.0) {
+        std::cerr << "busarb_sim: --fairness-window must be > 0\n";
+        return 2;
+    }
 
     const auto trace_events = parser.getInt("trace-events");
     std::unique_ptr<TextTracer> tracer;
@@ -169,8 +201,52 @@ main(int argc, char **argv)
             std::cout << "\n";
         printSummary(results[i], std::cout);
     }
+    if (config.auditFairness) {
+        std::cout << "\n";
+        for (const auto &r : results) {
+            // The registry has no const accessors; read from a copy.
+            MetricsRegistry m = r.metrics;
+            std::cout << "fairness[" << r.protocolName
+                      << "]: grants="
+                      << m.counter("fairness.grants").value()
+                      << " bound_violations="
+                      << m.counter("fairness.bound_violations").value()
+                      << " max_bypasses="
+                      << m.gauge("fairness.max_bypasses").max()
+                      << " inversions="
+                      << m.counter("fairness.inversions").value()
+                      << " jain_completions="
+                      << m.gauge("fairness.jain_completions").mean()
+                      << " max_starvation="
+                      << m.gauge("fairness.max_starvation_units").max()
+                      << "\n";
+        }
+    }
     std::cout << "\njobs=" << jobs << " elapsed_ms="
               << formatFixed(elapsed_ms, 0) << "\n";
+
+    if (!snapshot_path.empty()) {
+        // Per-run snapshot streams concatenated in submission order —
+        // byte-identical at any job count.
+        std::ofstream out(snapshot_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "cannot write " << snapshot_path << "\n";
+            return 1;
+        }
+        std::size_t lines = 0;
+        for (const auto &r : results) {
+            out << r.fairnessSnapshots;
+            lines += static_cast<std::size_t>(
+                std::count(r.fairnessSnapshots.begin(),
+                           r.fairnessSnapshots.end(), '\n'));
+        }
+        if (!out) {
+            std::cerr << "error writing " << snapshot_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << lines << " fairness snapshot(s) to "
+                  << snapshot_path << "\n";
+    }
 
     if (!parser.getString("batches-csv").empty()) {
         std::ofstream out(parser.getString("batches-csv"));

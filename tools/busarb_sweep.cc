@@ -79,8 +79,22 @@ main(int argc, char **argv)
                          "write per-cell wall-clock timing here (host "
                          "timing; varies run to run, so it is kept out "
                          "of the deterministic --csv file)");
+    parser.addBoolFlag("fairness", false,
+                       "attach the fairness auditor to every cell; the "
+                       "fairness.* measures land in --metrics-out");
+    parser.addDoubleFlag("fairness-window", 50.0,
+                         "fairness window width, transaction units");
+    parser.addIntFlag("bypass-bound", 0,
+                      "audited bypass bound per grant (0 = the paper's "
+                      "RR guarantee, N-1)");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
+
+    if (parser.getBool("fairness") &&
+        parser.getDouble("fairness-window") <= 0.0) {
+        std::cerr << "busarb_sweep: --fairness-window must be > 0\n";
+        return 2;
+    }
 
     const int n = static_cast<int>(parser.getInt("agents"));
     const auto protocol_keys = splitCsvList(parser.getString("protocols"));
@@ -117,6 +131,10 @@ main(int argc, char **argv)
         config.warmup = config.batchSize;
         config.captureBinaryTrace =
             !parser.getString("trace-out").empty();
+        config.auditFairness = parser.getBool("fairness");
+        config.fairnessWindowUnits = parser.getDouble("fairness-window");
+        config.bypassBound =
+            static_cast<int>(parser.getInt("bypass-bound"));
         for (const auto &key : protocol_keys)
             grid.push_back({config, protocolFromSpec(key)});
     }

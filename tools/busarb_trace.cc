@@ -12,8 +12,22 @@
  *   busarb_trace run.trace --perfetto run.json
  *   busarb_trace run.trace --events-csv events.csv
  *   busarb_trace run.trace --latency-csv latency.csv
+ *
+ * The `audit` subcommand replays every run in the trace through the
+ * fairness auditor (obs/fairness_auditor.hh) — the identical code path
+ * a live --fairness run uses — and prints per-run bypass-bound,
+ * starvation, and Jain's-index summaries:
+ *
+ *   busarb_trace audit run.trace
+ *   busarb_trace audit run.trace --bypass-bound 3 --metrics-out f.json
+ *   busarb_trace audit run.trace --snapshot-out run.jsonl \
+ *                --snapshot-every 100
+ *
+ * A truncated or otherwise corrupt trace exits with status 2 and a
+ * message naming the offending chunk.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <fstream>
@@ -24,7 +38,9 @@
 
 #include "experiment/cli.hh"
 #include "obs/binary_trace.hh"
+#include "obs/fairness_auditor.hh"
 #include "obs/latency.hh"
+#include "obs/metrics_registry.hh"
 #include "obs/perfetto.hh"
 
 using namespace busarb;
@@ -60,6 +76,87 @@ writeTextFile(const std::string &path, WriteFn write)
     return true;
 }
 
+/**
+ * Replay every chunk through a fresh FairnessAuditor and print its
+ * summary; optionally write merged fairness.* metrics and concatenated
+ * snapshot JSONL.
+ *
+ * @return Process exit code.
+ */
+int
+runAudit(const std::vector<TraceChunk> &chunks, const ArgParser &parser)
+{
+    const double window = parser.getDouble("fairness-window");
+    if (window <= 0.0) {
+        std::cerr << "busarb_trace: --fairness-window must be > 0\n";
+        return 2;
+    }
+    const std::string snapshot_path = parser.getString("snapshot-out");
+    const double snapshot_every = parser.getDouble("snapshot-every");
+    if (snapshot_path.empty() != (snapshot_every <= 0.0)) {
+        std::cerr << "busarb_trace: --snapshot-out and --snapshot-every "
+                     "must be given together\n";
+        return 2;
+    }
+
+    MetricsRegistry merged;
+    std::string snapshots;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+        const TraceChunk &chunk = chunks[i];
+        FairnessAuditorConfig fc;
+        fc.numAgents = chunk.numAgents;
+        fc.windowTicks = unitsToTicks(window);
+        fc.bypassBound =
+            static_cast<int>(parser.getInt("bypass-bound"));
+        fc.snapshotEveryTicks = unitsToTicks(snapshot_every);
+        fc.label = chunk.protocol;
+        FairnessAuditor auditor(fc);
+        Tick end = 0;
+        for (const TraceEvent &ev : chunk.events) {
+            auditor.consume(ev);
+            end = std::max(end, ev.tick);
+        }
+        auditor.finish(end);
+
+        if (i > 0)
+            std::cout << "\n";
+        std::cout << "run " << i << " (" << chunk.protocol << "):\n";
+        auditor.printSummary(std::cout);
+        MetricsRegistry local;
+        auditor.exportMetrics(local);
+        merged.mergeFrom(local, "run" + std::to_string(i) + "." +
+                                    chunk.protocol + ".");
+        snapshots += auditor.snapshots();
+    }
+
+    if (!parser.getString("metrics-out").empty()) {
+        if (!merged.writeFile(parser.getString("metrics-out"))) {
+            std::cerr << "busarb_trace: cannot write "
+                      << parser.getString("metrics-out") << "\n";
+            return 1;
+        }
+        std::cout << "\nwrote fairness metrics to "
+                  << parser.getString("metrics-out") << "\n";
+    }
+    if (!snapshot_path.empty()) {
+        std::ofstream out(snapshot_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "busarb_trace: cannot write " << snapshot_path
+                      << "\n";
+            return 1;
+        }
+        out << snapshots;
+        if (!out) {
+            std::cerr << "busarb_trace: error writing " << snapshot_path
+                      << "\n";
+            return 1;
+        }
+        std::cout << "wrote fairness snapshots to " << snapshot_path
+                  << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -67,7 +164,8 @@ main(int argc, char **argv)
 {
     ArgParser parser("busarb_trace",
                      "convert binary bus traces (--trace-out files) to "
-                     "Perfetto JSON or CSV, or summarize latencies");
+                     "Perfetto JSON or CSV, summarize latencies, or "
+                     "`audit` fairness");
     parser.addStringFlag("perfetto", "",
                          "write Chrome trace-event JSON here (open in "
                          "ui.perfetto.dev)");
@@ -79,15 +177,49 @@ main(int argc, char **argv)
     parser.addBoolFlag("summary", false,
                        "print the latency breakdown table even when an "
                        "output flag is given");
+    parser.addDoubleFlag("fairness-window", 50.0,
+                         "audit: fairness window width, transaction "
+                         "units");
+    parser.addIntFlag("bypass-bound", 0,
+                      "audit: audited bypass bound per grant (0 = the "
+                      "paper's RR guarantee, N-1)");
+    parser.addStringFlag("snapshot-out", "",
+                         "audit: write deterministic fairness snapshots "
+                         "(JSONL) here; requires --snapshot-every");
+    parser.addDoubleFlag("snapshot-every", 0.0,
+                         "audit: snapshot interval in simulated "
+                         "transaction units; requires --snapshot-out");
+    parser.addStringFlag("metrics-out", "",
+                         "audit: write merged fairness.* metrics here "
+                         "(.json for JSON, anything else for CSV)");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
 
-    if (parser.positional().size() != 1) {
-        std::cerr << "busarb_trace: expected exactly one input file "
-                     "(see --help)\n";
+    bool audit = false;
+    std::string input;
+    if (parser.positional().size() == 1) {
+        input = parser.positional().front();
+    } else if (parser.positional().size() == 2 &&
+               parser.positional().front() == "audit") {
+        audit = true;
+        input = parser.positional().back();
+    } else {
+        std::cerr << "busarb_trace: expected an input file or "
+                     "`audit <file>` (see --help)\n";
         return 2;
     }
-    const std::string &input = parser.positional().front();
+    // Audit-only flags are meaningless (and silently misleading) on the
+    // conversion path; reject them loudly instead.
+    if (!audit) {
+        for (const char *flag :
+             {"snapshot-out", "metrics-out"}) {
+            if (!parser.getString(flag).empty()) {
+                std::cerr << "busarb_trace: --" << flag
+                          << " requires the audit subcommand\n";
+                return 2;
+            }
+        }
+    }
 
     std::vector<std::uint8_t> bytes;
     if (!readFile(input, bytes)) {
@@ -99,10 +231,16 @@ main(int argc, char **argv)
     try {
         chunks = readTraceChunks(bytes);
     } catch (const std::exception &err) {
-        std::cerr << "busarb_trace: " << input << ": " << err.what()
+        // Truncated or corrupt chunks are a usage-level failure (wrong
+        // file, interrupted capture), distinct from I/O errors above.
+        std::cerr << "busarb_trace: " << input
+                  << ": corrupt or truncated trace: " << err.what()
                   << "\n";
-        return 1;
+        return 2;
     }
+
+    if (audit)
+        return runAudit(chunks, parser);
 
     const std::string perfetto_path = parser.getString("perfetto");
     const std::string events_path = parser.getString("events-csv");
