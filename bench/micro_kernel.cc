@@ -170,6 +170,56 @@ BM_FullSimulationObserved(benchmark::State &state)
 }
 BENCHMARK(BM_FullSimulationObserved)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+void
+BM_FullSimulationProfiled(benchmark::State &state)
+{
+    // The self-profiler overhead guard: the same saturated rr1 run as
+    // BM_FullSimulation with 0 = profiling off and 1 = the full
+    // per-phase timer + event-queue probe set (--profile). The ratio of
+    // the two is the "< 2% overhead" budget; compare against a
+    // -DBUSARB_PROFILING=OFF build to price the compiled-in-but-idle
+    // probes as well.
+    ScenarioConfig config = equalLoadScenario(10, 2.0);
+    config.numBatches = 2;
+    config.batchSize = 5000;
+    config.warmup = 1000;
+    config.profile = state.range(0) != 0;
+    for (auto _ : state) {
+        auto result = runScenario(config, protocolByKey("rr1"));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (config.numBatches * config.batchSize +
+                             config.warmup));
+    state.SetLabel(state.range(0) != 0 ? "profiled" : "unprofiled");
+}
+BENCHMARK(BM_FullSimulationProfiled)->Arg(0)->Arg(1);
+
+void
+BM_RunHealthMonitored(benchmark::State &state)
+{
+    // The convergence monitor's cost is one addBatch per batch — it
+    // must be invisible next to the simulation itself (0 = off, 1 =
+    // --health, 2 = --health with the snapshot stream).
+    ScenarioConfig config = equalLoadScenario(10, 2.0);
+    config.numBatches = 2;
+    config.batchSize = 5000;
+    config.warmup = 1000;
+    config.monitorHealth = state.range(0) >= 1;
+    config.healthSnapshots = state.range(0) >= 2;
+    for (auto _ : state) {
+        auto result = runScenario(config, protocolByKey("rr1"));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (config.numBatches * config.batchSize +
+                             config.warmup));
+    static const char *labels[] = {"unmonitored", "health",
+                                   "health+snapshots"};
+    state.SetLabel(labels[state.range(0)]);
+}
+BENCHMARK(BM_RunHealthMonitored)->Arg(0)->Arg(1)->Arg(2);
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -10,8 +10,9 @@
 #      --timing-csv is host wall-clock and deliberately excluded from
 #      the comparison.)
 #   2. busarb_sim --snapshot-out emits the same JSONL bytes at
-#      --jobs 1 and --jobs 8: snapshots are keyed to simulated time,
-#      never to scheduling order.
+#      --jobs 1 and --jobs 8: snapshots (fairness and health alike)
+#      are keyed to simulated time, never to scheduling order. The
+#      health lines are additionally diffed on their own.
 #   3. A malformed --loads token must exit with status 2 and name the
 #      offending token (regression for the unchecked std::stod abort).
 #
@@ -32,7 +33,7 @@ run_sweep() {
     "$sweep" --protocols rr1,fcfs1,aap1 --agents 8 --loads 0.5,2,7.5 \
              --batches 3 --batch-size 400 --jobs "$1" --csv "$2" \
              --trace-out "$3" --metrics-out "$4" \
-             --timing-csv "$5" --fairness > /dev/null
+             --timing-csv "$5" --fairness --health > /dev/null
 }
 
 run_sweep 1 "$tmp/serial.csv" "$tmp/serial.trace" \
@@ -63,6 +64,11 @@ if ! grep -q "fairness\." "$tmp/serial-metrics.csv"; then
     exit 1
 fi
 
+if ! grep -q "health\." "$tmp/serial-metrics.csv"; then
+    echo "FAIL: --health produced no health.* metrics" >&2
+    exit 1
+fi
+
 for f in serial.trace serial-metrics.csv serial-timing.csv; do
     if [ ! -s "$tmp/$f" ]; then
         echo "FAIL: artifact $f is empty" >&2
@@ -70,13 +76,15 @@ for f in serial.trace serial-metrics.csv serial-timing.csv; do
     fi
 done
 
-# Snapshot determinism: the fairness auditor's JSONL stream is keyed to
-# simulated time, so a two-cell --compare run must emit identical bytes
-# regardless of how the cells are scheduled across worker threads.
+# Snapshot determinism: the fairness auditor's and health monitor's
+# JSONL streams are keyed to simulated time, so a two-cell --compare
+# run must emit identical bytes regardless of how the cells are
+# scheduled across worker threads.
 run_snap() {
     "$sim" --protocol rr1 --compare aap1 --agents 8 --load 7.6 \
            --batches 2 --batch-size 400 --warmup 400 --jobs "$1" \
-           --snapshot-out "$2" --snapshot-every 100 > /dev/null
+           --snapshot-out "$2" --snapshot-every 100 --health \
+           > /dev/null
 }
 
 run_snap 1 "$tmp/serial.jsonl"
@@ -89,6 +97,25 @@ fi
 if ! cmp -s "$tmp/serial.jsonl" "$tmp/parallel.jsonl"; then
     echo "FAIL: --jobs 8 snapshot JSONL differs from --jobs 1" >&2
     diff -u "$tmp/serial.jsonl" "$tmp/parallel.jsonl" >&2 || true
+    exit 1
+fi
+
+# The health monitor must contribute per-batch lines of its own, and
+# those lines alone must also match across job counts (guards against
+# a future format change smuggling host state into one stream while
+# the other still happens to compare clean).
+grep '"kind": "health"' "$tmp/serial.jsonl" > "$tmp/serial-health.jsonl" \
+    || true
+grep '"kind": "health"' "$tmp/parallel.jsonl" \
+    > "$tmp/parallel-health.jsonl" || true
+if [ ! -s "$tmp/serial-health.jsonl" ]; then
+    echo "FAIL: --health emitted no health snapshot lines" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/serial-health.jsonl" "$tmp/parallel-health.jsonl"; then
+    echo "FAIL: --jobs 8 health snapshot lines differ from --jobs 1" >&2
+    diff -u "$tmp/serial-health.jsonl" "$tmp/parallel-health.jsonl" \
+        >&2 || true
     exit 1
 fi
 
@@ -108,5 +135,6 @@ if ! grep -q "bogus" "$tmp/bad.out"; then
     exit 1
 fi
 
-echo "ok: parallel sweep CSV, trace, metrics, and fairness snapshots" \
-     "byte-identical to serial; bad token rejected with exit 2"
+echo "ok: parallel sweep CSV, trace, metrics, and fairness/health" \
+     "snapshots byte-identical to serial; bad token rejected with" \
+     "exit 2"

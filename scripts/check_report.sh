@@ -1,0 +1,152 @@
+#!/bin/sh
+# Tier-1 integration check for the run-report generator:
+#
+#   1. busarb_report renders a markdown and an HTML report for a small
+#      run; both must be non-empty, carry the convergence verdict up
+#      top, and contain the estimates, batches, latency, and metrics
+#      sections.
+#   2. The report is a pure function of the scenario (seed included):
+#      rendering the same command line twice must produce byte-identical
+#      files.
+#   3. When python3 is available, the HTML must parse and the embedded
+#      metrics JSON must be a valid JSON object with health.* entries;
+#      without python3 that validation is skipped (exit 77).
+#
+# Usage: check_report.sh /path/to/busarb_report
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 /path/to/busarb_report" >&2
+    exit 2
+fi
+report="$1"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_report() {
+    "$report" --protocol rr1 --agents 6 --load 2.0 --batches 4 \
+              --batch-size 400 --warmup 400 --snapshot-every 100 \
+              --format "$1" --out "$2" > /dev/null
+}
+
+run_report md "$tmp/run.md"
+run_report html "$tmp/run.html"
+run_report md "$tmp/run-again.md"
+run_report html "$tmp/run-again.html"
+
+for f in run.md run.html; do
+    if [ ! -s "$tmp/$f" ]; then
+        echo "FAIL: report $f is empty" >&2
+        exit 1
+    fi
+done
+
+if ! cmp -s "$tmp/run.md" "$tmp/run-again.md"; then
+    echo "FAIL: markdown report is not deterministic" >&2
+    diff -u "$tmp/run.md" "$tmp/run-again.md" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/run.html" "$tmp/run-again.html"; then
+    echo "FAIL: HTML report is not deterministic" >&2
+    diff -u "$tmp/run.html" "$tmp/run-again.html" >&2 || true
+    exit 1
+fi
+
+# The verdict must lead the document: before any section heading.
+for f in run.md run.html; do
+    if ! grep -q "verdict=" "$tmp/$f"; then
+        echo "FAIL: $f carries no convergence verdict" >&2
+        exit 1
+    fi
+done
+first_heading="$(grep -n "^## " "$tmp/run.md" | head -n 1 | cut -d: -f1)"
+verdict_line="$(grep -n "verdict=" "$tmp/run.md" | head -n 1 | cut -d: -f1)"
+if [ -z "$first_heading" ] || [ -z "$verdict_line" ] ||
+   [ "$verdict_line" -ge "$first_heading" ]; then
+    echo "FAIL: verdict does not lead the markdown report" >&2
+    exit 1
+fi
+
+for section in "Scenario" "Estimates" "Convergence" "Batches" \
+               "Latency breakdown" "Fairness" "Metrics"; do
+    if ! grep -q "$section" "$tmp/run.md"; then
+        echo "FAIL: markdown report lacks section '$section'" >&2
+        exit 1
+    fi
+    if ! grep -q "$section" "$tmp/run.html"; then
+        echo "FAIL: HTML report lacks section '$section'" >&2
+        exit 1
+    fi
+done
+
+# --out is mandatory and bad formats are usage errors (exit 2).
+set +e
+"$report" --protocol rr1 > "$tmp/noout.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: missing --out exited with $code, expected 2" >&2
+    exit 1
+fi
+set +e
+"$report" --protocol rr1 --format pdf --out "$tmp/x.pdf" \
+    > "$tmp/badfmt.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: bad --format exited with $code, expected 2" >&2
+    exit 1
+fi
+
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "SKIP: python3 not available; HTML/JSON not validated" >&2
+    exit 77
+fi
+
+python3 - "$tmp/run.html" <<'EOF'
+import html.parser
+import json
+import sys
+
+
+class ReportParser(html.parser.HTMLParser):
+    def __init__(self):
+        super().__init__(convert_charrefs=True)
+        self.in_json_pre = False
+        self.json_text = []
+        self.headings = 0
+
+    def handle_starttag(self, tag, attrs):
+        if tag == "pre" and ("data-lang", "json") in attrs:
+            self.in_json_pre = True
+        if tag == "h2":
+            self.headings += 1
+
+    def handle_endtag(self, tag):
+        if tag == "pre":
+            self.in_json_pre = False
+
+    def handle_data(self, data):
+        if self.in_json_pre:
+            self.json_text.append(data)
+
+
+with open(sys.argv[1]) as f:
+    text = f.read()
+assert text.startswith("<!DOCTYPE html>"), "missing doctype"
+parser = ReportParser()
+parser.feed(text)
+parser.close()
+assert parser.headings >= 5, f"only {parser.headings} sections"
+metrics = json.loads("".join(parser.json_text))
+assert isinstance(metrics, dict) and metrics, "metrics JSON empty"
+health = [k for k in metrics if k.startswith("health.")]
+assert health, "no health.* entries in embedded metrics"
+assert "bus.completions" in metrics, "bus.completions missing"
+print(f"validated HTML report: {parser.headings} sections, "
+      f"{len(metrics)} metrics, {len(health)} health entries")
+EOF
+
+echo "ok: run reports render deterministically in both formats with" \
+     "the verdict up top and valid embedded metrics JSON"

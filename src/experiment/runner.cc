@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "experiment/job_pool.hh"
@@ -12,6 +13,7 @@
 #include "obs/fairness_auditor.hh"
 #include "obs/fanout.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/run_health.hh"
 #include "random/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
@@ -196,6 +198,22 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     MetricsCollector collector(config.numAgents, config.histBinWidth,
                                config.histBins);
 
+    std::unique_ptr<RunHealthMonitor> health;
+    if (config.monitorHealth || config.healthSnapshots) {
+        RunHealthConfig hc;
+        hc.convergence.confidence = config.confidence;
+        hc.convergence.relHalfWidthTarget = config.healthRelHwTarget;
+        hc.convergence.lag1Threshold = config.healthLag1Threshold;
+        hc.label = protocol_name;
+        hc.snapshots = config.healthSnapshots;
+        health = std::make_unique<RunHealthMonitor>(hc);
+    }
+
+    // Self-profiler: one per run, owned here, so no hot-path locks. Its
+    // wall-clock phases are host-only; the simulation never reads them.
+    Profiler profiler;
+    const bool profile = config.profile;
+
     Rng base(config.seed);
     std::vector<std::unique_ptr<ClosedAgent>> agents;
     agents.reserve(static_cast<std::size_t>(config.numAgents));
@@ -247,7 +265,11 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
         }
     };
 
-    run_until(config.warmup);
+    {
+        ProfilePhaseTimer t(profile ? &profiler : nullptr,
+                            RunPhase::kWarmup);
+        run_until(config.warmup);
+    }
     if (config.collectHistogram)
         collector.enableHistogram();
     if (config.collectPerAgentHistograms)
@@ -284,17 +306,29 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     Snapshot prev =
         takeSnapshot(queue, bus, collector, config.numAgents);
     emit_counters();
-    for (int b = 0; b < config.numBatches; ++b) {
-        run_until(config.warmup +
-                  (static_cast<std::uint64_t>(b) + 1) * config.batchSize);
-        const Snapshot cur =
-            takeSnapshot(queue, bus, collector, config.numAgents);
-        result.batches.push_back(
-            batchFromDelta(prev, cur, collector.batchWaitStats()));
-        collector.beginBatch();
-        prev = cur;
-        emit_counters();
+    {
+        ProfilePhaseTimer t(profile ? &profiler : nullptr,
+                            RunPhase::kMeasure);
+        for (int b = 0; b < config.numBatches; ++b) {
+            run_until(config.warmup +
+                      (static_cast<std::uint64_t>(b) + 1) *
+                          config.batchSize);
+            const Snapshot cur =
+                takeSnapshot(queue, bus, collector, config.numAgents);
+            result.batches.push_back(
+                batchFromDelta(prev, cur, collector.batchWaitStats()));
+            if (health != nullptr) {
+                const BatchStats &batch = result.batches.back();
+                health->onBatch(ticksToUnits(cur.now), batch.waitMean,
+                                batch.utilization);
+            }
+            collector.beginBatch();
+            prev = cur;
+            emit_counters();
+        }
     }
+    ProfilePhaseTimer drain_timer(profile ? &profiler : nullptr,
+                                  RunPhase::kDrain);
     result.waitHistogram = collector.histogram();
     if (config.collectPerAgentHistograms) {
         for (AgentId a = 1; a <= config.numAgents; ++a)
@@ -309,11 +343,24 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
         auditor->exportMetrics(result.metrics);
         result.fairnessSnapshots = auditor->snapshots();
     }
+    if (health != nullptr) {
+        health->exportMetrics(result.metrics);
+        result.health = health->report();
+        result.healthSnapshots = health->snapshots();
+    }
+    if (profile) {
+        profiler.finish(queue, bus.arbitrationPasses(),
+                        bus.retryPasses(), bus.completedTransactions());
+        result.profile = profiler.report();
+        result.profile.exportMetrics(result.metrics);
+    }
     return result;
 }
 
 std::vector<ScenarioResult>
-runScenarioGrid(const std::vector<GridJob> &grid, int jobs)
+runScenarioGrid(const std::vector<GridJob> &grid, int jobs,
+                const std::function<void(std::size_t, std::size_t)>
+                    &on_progress)
 {
     using Clock = std::chrono::steady_clock;
     const auto timed_run = [](const GridJob &job) {
@@ -326,11 +373,27 @@ runScenarioGrid(const std::vector<GridJob> &grid, int jobs)
         return result;
     };
 
+    // Progress calls are serialized so the callback can write to a
+    // stream without interleaving; the counter is the only shared
+    // state, and it never influences results.
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    const std::size_t total = grid.size();
+    const auto report_progress = [&] {
+        if (!on_progress)
+            return;
+        const std::scoped_lock lock(progress_mutex);
+        ++done;
+        on_progress(done, total);
+    };
+
     std::vector<ScenarioResult> results(grid.size());
     const int workers = resolveJobCount(jobs);
     if (workers == 1 || grid.size() <= 1) {
-        for (std::size_t i = 0; i < grid.size(); ++i)
+        for (std::size_t i = 0; i < grid.size(); ++i) {
             results[i] = timed_run(grid[i]);
+            report_progress();
+        }
         return results;
     }
 
@@ -339,8 +402,9 @@ runScenarioGrid(const std::vector<GridJob> &grid, int jobs)
     // any post-hoc sorting.
     JobPool pool(workers);
     for (std::size_t i = 0; i < grid.size(); ++i) {
-        pool.submit([&grid, &results, &timed_run, i] {
+        pool.submit([&grid, &results, &timed_run, &report_progress, i] {
             results[i] = timed_run(grid[i]);
+            report_progress();
         });
     }
     pool.wait();

@@ -17,6 +17,8 @@
 
 #include "bus/protocol.hh"
 #include "obs/metrics_registry.hh"
+#include "obs/profiler.hh"
+#include "obs/run_health.hh"
 #include "stats/batch_means.hh"
 #include "stats/histogram.hh"
 #include "workload/scenario.hh"
@@ -110,6 +112,27 @@ struct ScenarioResult
      * count.
      */
     std::string fairnessSnapshots;
+
+    /**
+     * Run-health diagnosis (obs/run_health.hh); enabled only when
+     * ScenarioConfig::monitorHealth was set. The verdict and every
+     * diagnostic are pure functions of the batch series, so they are
+     * identical at any --jobs count.
+     */
+    RunHealthReport health;
+
+    /**
+     * Per-batch health snapshot JSONL, keyed to simulated time; empty
+     * unless ScenarioConfig::healthSnapshots was set.
+     */
+    std::string healthSnapshots;
+
+    /**
+     * Self-profile of the run (obs/profiler.hh); meaningful only when
+     * ScenarioConfig::profile was set. Wall-clock fields are host
+     * timing and must stay out of artifacts compared across --jobs.
+     */
+    ProfileReport profile;
 
     /** @return Total system throughput (requests per unit time). */
     Estimate throughput() const;
@@ -209,10 +232,17 @@ struct GridJob
  * @param grid The scenarios to run.
  * @param jobs Worker threads; <= 0 means one per hardware thread, 1
  *        runs the cells serially on the calling thread.
+ * @param on_progress Optional callback invoked after each cell
+ *        completes with (cells done so far, total cells). Calls are
+ *        serialized (never concurrent) but may come from any worker
+ *        thread and in any cell order; intended for progress/ETA
+ *        output, which must never touch the deterministic artifacts.
  * @return One result per grid cell, in submission order.
  */
 std::vector<ScenarioResult>
-runScenarioGrid(const std::vector<GridJob> &grid, int jobs = 0);
+runScenarioGrid(const std::vector<GridJob> &grid, int jobs = 0,
+                const std::function<void(std::size_t, std::size_t)>
+                    &on_progress = nullptr);
 
 } // namespace busarb
 

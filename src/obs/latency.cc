@@ -74,6 +74,13 @@ LatencySummary::add(const RequestLatency &r)
     exposedArb.set(ticksToUnits(r.exposedArb));
     service.set(ticksToUnits(r.service));
     wait.set(ticksToUnits(r.wait()));
+    waitHistogram.add(ticksToUnits(r.wait()));
+}
+
+double
+LatencySummary::waitQuantile(double p) const
+{
+    return waitHistogram.quantile(p);
 }
 
 LatencySummary
@@ -93,8 +100,9 @@ printLatencyBreakdown(const std::vector<TraceChunk> &chunks,
        << std::left << std::setw(24) << "protocol" << std::right
        << std::setw(10) << "requests" << std::setw(10) << "queue"
        << std::setw(12) << "exp. arb" << std::setw(10) << "service"
-       << std::setw(10) << "W mean" << std::setw(10) << "W max"
-       << "\n";
+       << std::setw(10) << "W mean" << std::setw(9) << "W p50"
+       << std::setw(9) << "W p95" << std::setw(9) << "W p99"
+       << std::setw(10) << "W max" << "\n";
     os << std::fixed << std::setprecision(3);
     for (const TraceChunk &chunk : chunks) {
         const LatencySummary s =
@@ -103,7 +111,9 @@ printLatencyBreakdown(const std::vector<TraceChunk> &chunks,
            << std::setw(10) << s.wait.count() << std::setw(10)
            << s.queue.mean() << std::setw(12) << s.exposedArb.mean()
            << std::setw(10) << s.service.mean() << std::setw(10)
-           << s.wait.mean() << std::setw(10)
+           << s.wait.mean() << std::setw(9) << s.waitQuantile(0.50)
+           << std::setw(9) << s.waitQuantile(0.95) << std::setw(9)
+           << s.waitQuantile(0.99) << std::setw(10)
            << (s.wait.count() > 0 ? s.wait.max() : 0.0) << "\n";
     }
 }

@@ -62,8 +62,19 @@ struct LatencySummary
     Gauge service;    ///< service component, transaction units
     Gauge wait;       ///< full waiting time W, transaction units
 
+    /**
+     * Waiting-time distribution for percentile columns. Same binning
+     * as the runner's waiting-time histograms (0.25-unit bins); the
+     * overflow bin catches pathological waits, so quantiles saturate
+     * rather than lie.
+     */
+    Histogram waitHistogram{0.25, 1200};
+
     /** Fold one request in. */
     void add(const RequestLatency &r);
+
+    /** @return Approximate p-quantile of W; 0 when empty. */
+    double waitQuantile(double p) const;
 };
 
 /**

@@ -89,9 +89,35 @@ MetricsRegistry::size() const
 }
 
 void
+MetricsRegistry::checkMergeFresh(const std::string &name,
+                                 const std::string &prefix) const
+{
+    // A prefixed merge promises a namespace of its own; landing on an
+    // existing fully-qualified name means two runs were merged under
+    // the same prefix (e.g. the same protocol key twice), which would
+    // silently sum unrelated runs into one metric.
+    BUSARB_ASSERT(counters_.count(name) == 0 &&
+                  gauges_.count(name) == 0 &&
+                  histograms_.count(name) == 0,
+                  "mergeFrom: metric '", name,
+                  "' already exists; duplicate merge under prefix '",
+                  prefix, "'");
+}
+
+void
 MetricsRegistry::mergeFrom(const MetricsRegistry &other,
                            const std::string &prefix)
 {
+    // Un-prefixed merges accumulate (sum) by design; prefixed merges
+    // must land on fresh names.
+    if (!prefix.empty()) {
+        for (const auto &[name, c] : other.counters_)
+            checkMergeFresh(prefix + name, prefix);
+        for (const auto &[name, g] : other.gauges_)
+            checkMergeFresh(prefix + name, prefix);
+        for (const auto &[name, h] : other.histograms_)
+            checkMergeFresh(prefix + name, prefix);
+    }
     for (const auto &[name, c] : other.counters_)
         counter(prefix + name).merge(c);
     for (const auto &[name, g] : other.gauges_)

@@ -158,6 +158,14 @@ class MetricsRegistry
      * Metrics of the same resulting name must have the same kind (and,
      * for histograms, the same binning).
      *
+     * A non-empty prefix claims a fresh namespace: if any resulting
+     * fully-qualified name already exists, the merge panics with a
+     * diagnostic naming the colliding metric and prefix (merging the
+     * same run twice under one prefix is always a caller bug, and
+     * silently summing two runs into one metric would corrupt the
+     * export). Un-prefixed merges keep their accumulate-by-sum
+     * semantics.
+     *
      * @param other Registry to merge from.
      * @param prefix Prepended to each of `other`'s names.
      */
@@ -202,6 +210,10 @@ class MetricsRegistry
 
     /** Panic if `name` already exists with a different kind. */
     void checkKindFree(const std::string &name, const char *kind) const;
+
+    /** Panic if `name` already exists at all (prefixed-merge check). */
+    void checkMergeFresh(const std::string &name,
+                         const std::string &prefix) const;
 };
 
 } // namespace busarb

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Per-run simulator self-profiler.
+ *
+ * Answers "where does simulation wall-clock go?" for one scenario run:
+ * per-phase (warmup / measure / drain) wall-clock, events executed and
+ * events per second, event-queue depth (max and a log2 histogram from
+ * the EventQueue's compile-time-gated probes), and arbitration-round
+ * counts. One Profiler is owned by one run — no locks, no shared
+ * state — the identical JobPool-safety pattern MetricsRegistry uses.
+ *
+ * Two strictly separated output classes:
+ *
+ *  - Simulation-derived counts (events, depths, passes) are
+ *    deterministic and may be exported as profile.* metrics alongside
+ *    the run's other metrics.
+ *  - Wall-clock numbers are host-only; they go to stderr reports and
+ *    timing CSVs, never into artifacts compared across --jobs counts.
+ *
+ * All instrumentation compiles out with -DBUSARB_PROFILING=OFF; the
+ * class itself stays available so callers need no #if, but its timers
+ * read as zero.
+ */
+
+#ifndef BUSARB_OBS_PROFILER_HH
+#define BUSARB_OBS_PROFILER_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics_registry.hh"
+#include "sim/event_queue.hh"
+#include "sim/profiling.hh"
+
+namespace busarb {
+
+/** Phases of one scenario run, in execution order. */
+enum class RunPhase : int {
+    kWarmup = 0,  ///< completions discarded before measurement
+    kMeasure = 1, ///< the batch-means measurement period
+    kDrain = 2,   ///< post-measurement finalization and export
+};
+
+/** Number of RunPhase values. */
+constexpr std::size_t kNumRunPhases = 3;
+
+/** @return Stable lowercase phase name ("warmup", ...). */
+const char *runPhaseName(RunPhase phase);
+
+/** Plain-value profile of one finished run. */
+struct ProfileReport
+{
+    /** False when profiling was disabled (all other fields zero). */
+    bool enabled = false;
+
+    /** Host wall-clock per phase, in seconds. */
+    std::array<double, kNumRunPhases> phaseSeconds{};
+
+    /** Events executed by the run's event queue. */
+    std::uint64_t eventsExecuted = 0;
+
+    /** Largest event-queue depth reached. */
+    std::uint64_t maxQueueDepth = 0;
+
+    /** Log2-bucketed queue depth histogram (see EventQueue). */
+    std::array<std::uint64_t, EventQueue::kDepthBuckets> queueDepthLog2{};
+
+    /** Arbitration passes resolved during the run. */
+    std::uint64_t arbitrationPasses = 0;
+
+    /** Passes that ended in a retry (collision) during the run. */
+    std::uint64_t retryPasses = 0;
+
+    /** Completed bus transactions. */
+    std::uint64_t completions = 0;
+
+    /** @return Total wall-clock across phases, seconds. */
+    double totalSeconds() const;
+
+    /** @return Events per wall-clock second; 0 if unmeasurable. */
+    double eventsPerSecond() const;
+
+    /**
+     * Export the deterministic (simulation-derived) subset as
+     * profile.* entries. Wall-clock never goes through here.
+     *
+     * @param m Destination registry.
+     */
+    void exportMetrics(MetricsRegistry &m) const;
+
+    /**
+     * Render the host-facing profile block (wall-clock included), for
+     * stderr.
+     *
+     * @param label Run label (e.g. protocol name).
+     * @param os Destination stream.
+     */
+    void print(const std::string &label, std::ostream &os) const;
+};
+
+/**
+ * Accumulates one run's profile. Scoped phase timing:
+ *
+ *   Profiler prof;
+ *   { ProfilePhaseTimer t(prof, RunPhase::kWarmup); ...run warmup... }
+ *
+ * In unprofiled builds the timers are no-ops and the report's
+ * wall-clock fields stay zero; the simulation-derived fields are
+ * filled by finish() either way so tooling keeps working.
+ */
+class Profiler
+{
+  public:
+    Profiler() = default;
+
+    /** Add host wall-clock seconds to one phase's total. */
+    void
+    addPhaseSeconds(RunPhase phase, double seconds)
+    {
+        report_.phaseSeconds[static_cast<std::size_t>(phase)] += seconds;
+    }
+
+    /**
+     * Capture the simulation-derived counters from the finished run.
+     *
+     * @param queue The run's event queue.
+     * @param passes Arbitration passes resolved.
+     * @param retries Retry passes.
+     * @param completions Completed transactions.
+     */
+    void finish(const EventQueue &queue, std::uint64_t passes,
+                std::uint64_t retries, std::uint64_t completions);
+
+    /** @return The accumulated report. */
+    const ProfileReport &report() const { return report_; }
+
+  private:
+    ProfileReport report_;
+};
+
+/**
+ * RAII wall-clock timer charging its lifetime to one phase.
+ * Compiles to nothing when profiling is off.
+ */
+class ProfilePhaseTimer
+{
+  public:
+    /**
+     * @param profiler Destination profiler (may be null: no-op).
+     * @param phase Phase to charge.
+     */
+    ProfilePhaseTimer(Profiler *profiler, RunPhase phase)
+#if BUSARB_PROFILING_ENABLED
+        : profiler_(profiler), phase_(phase),
+          start_(std::chrono::steady_clock::now())
+#endif
+    {
+#if !BUSARB_PROFILING_ENABLED
+        (void)profiler;
+        (void)phase;
+#endif
+    }
+
+    ~ProfilePhaseTimer()
+    {
+#if BUSARB_PROFILING_ENABLED
+        if (profiler_ != nullptr) {
+            profiler_->addPhaseSeconds(
+                phase_,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+        }
+#endif
+    }
+
+    ProfilePhaseTimer(const ProfilePhaseTimer &) = delete;
+    ProfilePhaseTimer &operator=(const ProfilePhaseTimer &) = delete;
+
+  private:
+#if BUSARB_PROFILING_ENABLED
+    Profiler *profiler_;
+    RunPhase phase_;
+    std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_PROFILER_HH

@@ -1,0 +1,104 @@
+#include "obs/run_health.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/export_format.hh"
+
+namespace busarb {
+
+RunHealthMonitor::RunHealthMonitor(const RunHealthConfig &config)
+    : config_(config), wait_(config.convergence), util_(config.convergence)
+{
+}
+
+void
+RunHealthMonitor::onBatch(double sim_time_units, double wait_mean,
+                          double utilization)
+{
+    wait_.addBatch(wait_mean);
+    util_.addBatch(utilization);
+    if (config_.snapshots)
+        writeSnapshotLine(sim_time_units);
+}
+
+ConvergenceVerdict
+RunHealthMonitor::verdict() const
+{
+    return worseVerdict(wait_.verdict(), util_.verdict());
+}
+
+RunHealthReport
+RunHealthMonitor::report() const
+{
+    RunHealthReport r;
+    r.enabled = true;
+    r.verdict = verdict();
+    r.batches = wait_.numBatches();
+    r.wait = wait_.estimate();
+    r.waitRelHalfWidth = wait_.relHalfWidth();
+    r.waitLag1 = wait_.lag1();
+    r.waitMserCut = wait_.mserTruncation();
+    r.waitRelHwTrajectory = wait_.relHalfWidthTrajectory();
+    r.utilRelHalfWidth = util_.relHalfWidth();
+    r.utilLag1 = util_.lag1();
+    return r;
+}
+
+void
+RunHealthMonitor::exportMetrics(MetricsRegistry &m) const
+{
+    m.counter("health.batches").add(wait_.numBatches());
+    m.gauge("health.verdict")
+        .set(static_cast<double>(static_cast<int>(verdict())));
+    m.gauge("health.wait.rel_half_width").set(wait_.relHalfWidth());
+    m.gauge("health.wait.lag1").set(wait_.lag1());
+    m.gauge("health.wait.mser_cut")
+        .set(static_cast<double>(wait_.mserTruncation()));
+    m.gauge("health.wait.mean").set(wait_.estimate().value);
+    m.gauge("health.wait.half_width").set(wait_.estimate().halfWidth);
+    m.gauge("health.util.rel_half_width").set(util_.relHalfWidth());
+    m.gauge("health.util.lag1").set(util_.lag1());
+}
+
+void
+RunHealthMonitor::writeSnapshotLine(double sim_time_units)
+{
+    // Same byte-stability contract as the fairness snapshots: every
+    // number goes through export_format, and the line depends only on
+    // the batch series (keyed to simulated time, never host state).
+    const Estimate e = wait_.estimate();
+    std::ostringstream os;
+    os << "{\"run\": ";
+    writeJsonString(os, config_.label);
+    os << ", \"kind\": \"health\", \"t\": "
+       << formatDouble(sim_time_units) << ", \"batch\": "
+       << formatUint(wait_.numBatches()) << ", \"wait_mean\": "
+       << formatDouble(e.value) << ", \"wait_half_width\": "
+       << formatDouble(e.halfWidth) << ", \"rel_half_width\": "
+       << formatDouble(wait_.relHalfWidth()) << ", \"lag1\": "
+       << formatDouble(wait_.lag1()) << ", \"mser_cut\": "
+       << formatUint(wait_.mserTruncation()) << ", \"util_rel_half_width\": "
+       << formatDouble(util_.relHalfWidth()) << ", \"verdict\": \""
+       << verdictName(verdict()) << "\"}\n";
+    snapshots_ += os.str();
+}
+
+void
+RunHealthReport::print(std::ostream &os) const
+{
+    os << "verdict=" << verdictLabel() << " batches=" << batches
+       << " W=" << formatDouble(wait.value) << "±"
+       << formatDouble(wait.halfWidth) << " rel_hw="
+       << formatDouble(waitRelHalfWidth) << " lag1="
+       << formatDouble(waitLag1) << " mser_cut=" << waitMserCut
+       << " util_rel_hw=" << formatDouble(utilRelHalfWidth);
+}
+
+void
+RunHealthMonitor::printSummary(std::ostream &os) const
+{
+    report().print(os);
+}
+
+} // namespace busarb

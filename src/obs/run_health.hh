@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Run-health telemetry: convergence monitoring wired into the
+ * observability surface.
+ *
+ * A RunHealthMonitor owns one ConvergenceMonitor per watched output
+ * measure (the mean waiting time W — the measure the paper's tables
+ * report — plus bus utilization as a secondary), consumes one
+ * observation per completed batch, and exposes the combined diagnosis
+ * three ways:
+ *
+ *  - health.* entries in a MetricsRegistry (deterministic, mergeable
+ *    across JobPool runs like every other obs export);
+ *  - a JSONL snapshot stream keyed purely to simulated time, one line
+ *    per batch boundary, byte-identical at any --jobs count (same
+ *    contract as the fairness auditor's snapshots);
+ *  - a RunHealthReport value the CLI tools surface via --health and
+ *    gate on via --health-strict.
+ *
+ * Everything here is a pure function of the batch series, so it is
+ * JobPool-safe by construction: each run owns its monitor and the
+ * caller merges results deterministically.
+ */
+
+#ifndef BUSARB_OBS_RUN_HEALTH_HH
+#define BUSARB_OBS_RUN_HEALTH_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hh"
+#include "stats/convergence.hh"
+
+namespace busarb {
+
+/** Configuration of one RunHealthMonitor. */
+struct RunHealthConfig
+{
+    /** Thresholds shared by the per-measure monitors. */
+    ConvergenceConfig convergence;
+
+    /** Label stamped into each snapshot line (e.g. protocol name). */
+    std::string label;
+
+    /** Emit one JSONL snapshot line per completed batch. */
+    bool snapshots = false;
+};
+
+/** Plain-value summary of a finished run's health diagnosis. */
+struct RunHealthReport
+{
+    /** False when no monitor was attached (all other fields unset). */
+    bool enabled = false;
+
+    /** Combined verdict: the worst across the watched measures. */
+    ConvergenceVerdict verdict = ConvergenceVerdict::kUnderconverged;
+
+    /** Batches observed. */
+    std::size_t batches = 0;
+
+    /** Final W estimate with confidence half-width. */
+    Estimate wait;
+
+    /** Relative CI half-width of W at the final batch. */
+    double waitRelHalfWidth = 0.0;
+
+    /** Lag-1 autocorrelation of the W batch means. */
+    double waitLag1 = 0.0;
+
+    /** MSER truncation point over the W batch means (0 = clean). */
+    std::size_t waitMserCut = 0;
+
+    /** Relative CI half-width trajectory of W, one entry per batch. */
+    std::vector<double> waitRelHwTrajectory;
+
+    /** Relative CI half-width of utilization at the final batch. */
+    double utilRelHalfWidth = 0.0;
+
+    /** Lag-1 autocorrelation of the utilization batch means. */
+    double utilLag1 = 0.0;
+
+    /** @return verdictName(verdict). */
+    const char *verdictLabel() const { return verdictName(verdict); }
+
+    /**
+     * Render the one-line CLI summary, e.g.
+     * "verdict=converged batches=10 W=3.41±0.08 rel_hw=0.024 ...".
+     *
+     * @param os Destination stream.
+     */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Streaming run-health monitor. Feed one observation per batch via
+ * onBatch(), then read the report, metrics, and snapshots.
+ */
+class RunHealthMonitor
+{
+  public:
+    explicit RunHealthMonitor(const RunHealthConfig &config);
+
+    /**
+     * Record one completed batch.
+     *
+     * @param sim_time_units Simulated time at the batch boundary, in
+     *        transaction units (monotonically increasing).
+     * @param wait_mean Mean waiting time W over the batch.
+     * @param utilization Bus utilization over the batch.
+     */
+    void onBatch(double sim_time_units, double wait_mean,
+                 double utilization);
+
+    /** @return Number of batches observed. */
+    std::size_t numBatches() const { return wait_.numBatches(); }
+
+    /** @return The W monitor (primary measure). */
+    const ConvergenceMonitor &waitMonitor() const { return wait_; }
+
+    /** @return The utilization monitor (secondary measure). */
+    const ConvergenceMonitor &utilizationMonitor() const { return util_; }
+
+    /** @return Combined verdict (worst across measures). */
+    ConvergenceVerdict verdict() const;
+
+    /** @return The full report value. */
+    RunHealthReport report() const;
+
+    /**
+     * Export the diagnosis as health.* entries into `m`. All values
+     * are pure functions of the batch series, so merged registries are
+     * deterministic at any --jobs count.
+     *
+     * @param m Destination registry.
+     */
+    void exportMetrics(MetricsRegistry &m) const;
+
+    /** @return Accumulated snapshot JSONL (empty when disabled). */
+    const std::string &snapshots() const { return snapshots_; }
+
+    /**
+     * Render the one-line CLI summary, e.g.
+     * "verdict=converged batches=10 W=3.41±0.08 rel_hw=0.024 ...".
+     *
+     * @param os Destination stream.
+     */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    RunHealthConfig config_;
+    ConvergenceMonitor wait_;
+    ConvergenceMonitor util_;
+    std::string snapshots_;
+
+    /** Append one JSONL line for the batch ending at `sim_time_units`. */
+    void writeSnapshotLine(double sim_time_units);
+};
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_RUN_HEALTH_HH

@@ -16,6 +16,9 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     heap_.push(Entry{when, priority, id, std::move(cb)});
     liveIds_.insert(id);
     ++liveCount_;
+#if BUSARB_PROFILING_ENABLED
+    recordDepth(liveCount_);
+#endif
     return id;
 }
 

@@ -12,6 +12,7 @@
 #ifndef BUSARB_SIM_EVENT_QUEUE_HH
 #define BUSARB_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -19,6 +20,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sim/profiling.hh"
 #include "sim/types.hh"
 
 namespace busarb {
@@ -124,6 +126,38 @@ class EventQueue
     /** @return Number of live (scheduled, not cancelled) events. */
     std::size_t numPending() const { return liveCount_; }
 
+    /** Buckets of the profile depth histogram (log2-spaced). */
+    static constexpr std::size_t kDepthBuckets = 24;
+
+    /**
+     * Largest live-event depth ever reached. Maintained only when the
+     * build is profiled (BUSARB_PROFILING, the default); 0 otherwise.
+     * Deterministic: depends only on the scheduled event sequence.
+     */
+    std::size_t
+    profileMaxDepth() const
+    {
+#if BUSARB_PROFILING_ENABLED
+        return maxDepth_;
+#else
+        return 0;
+#endif
+    }
+
+    /**
+     * Per-schedule depth histogram: bucket b counts schedule() calls
+     * made while the live depth (after insertion) was in
+     * [2^b, 2^(b+1)); depths beyond the last bucket clamp into it.
+     * All zeros when the build is not profiled.
+     *
+     * @return Reference to the bucket array.
+     */
+    const std::array<std::uint64_t, kDepthBuckets> &
+    profileDepthHistogram() const
+    {
+        return depthLog2_;
+    }
+
   private:
     struct Entry
     {
@@ -155,6 +189,27 @@ class EventQueue
     EventId nextId_ = 1;
     std::size_t liveCount_ = 0;
     std::uint64_t numExecuted_ = 0;
+
+    // Profile probes: the array stays (zeroed) in unprofiled builds so
+    // the accessor keeps one signature, but is only ever written under
+    // BUSARB_PROFILING_ENABLED.
+    std::array<std::uint64_t, kDepthBuckets> depthLog2_{};
+#if BUSARB_PROFILING_ENABLED
+    std::size_t maxDepth_ = 0;
+
+    /** Record one schedule() at live depth `depth` (>= 1). */
+    void
+    recordDepth(std::size_t depth)
+    {
+        if (depth > maxDepth_)
+            maxDepth_ = depth;
+        // Bucket floor(log2(depth)), clamped to the last bucket.
+        std::size_t b = 0;
+        while ((depth >> b) > 1 && b < kDepthBuckets - 1)
+            ++b;
+        ++depthLog2_[b];
+    }
+#endif
 
     /** Drop cancelled entries sitting at the top of the heap. */
     void skipCancelled() const;

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Compile-time guard for simulator self-profiling instrumentation.
+ *
+ * The CMake option BUSARB_PROFILING (ON by default) defines the macro
+ * of the same name. When it is OFF, every hot-path probe — the event
+ * queue's depth accounting, the scoped phase timers in the runner —
+ * compiles down to nothing, so an uninstrumented build pays zero cost.
+ * Code should test BUSARB_PROFILING_ENABLED (always defined, 0 or 1)
+ * rather than the raw option macro.
+ *
+ * The instrumentation itself is lock-free by design: every probe
+ * accumulates into state owned by a single run (the EventQueue, the
+ * per-run Profiler), the same JobPool-safety pattern MetricsRegistry
+ * uses. Simulation-derived profile quantities (event counts, queue
+ * depths) are deterministic; wall-clock quantities are host-only and
+ * must never be written into artifacts compared across --jobs counts.
+ */
+
+#ifndef BUSARB_SIM_PROFILING_HH
+#define BUSARB_SIM_PROFILING_HH
+
+#if defined(BUSARB_PROFILING) && BUSARB_PROFILING
+#define BUSARB_PROFILING_ENABLED 1
+#else
+#define BUSARB_PROFILING_ENABLED 0
+#endif
+
+#endif // BUSARB_SIM_PROFILING_HH

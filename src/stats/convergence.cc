@@ -1,0 +1,152 @@
+#include "stats/convergence.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "stats/autocorrelation.hh"
+
+namespace busarb {
+
+const char *
+verdictName(ConvergenceVerdict v)
+{
+    switch (v) {
+      case ConvergenceVerdict::kConverged:
+        return "converged";
+      case ConvergenceVerdict::kUnderconverged:
+        return "underconverged";
+      case ConvergenceVerdict::kTransientContaminated:
+        return "transient-contaminated";
+    }
+    BUSARB_PANIC("unknown verdict ", static_cast<int>(v));
+}
+
+ConvergenceVerdict
+worseVerdict(ConvergenceVerdict a, ConvergenceVerdict b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+namespace {
+
+/** MSER statistic of the suffix xs[d..n): var / (n - d); +inf if < 2. */
+double
+mserStatistic(const std::vector<double> &xs, std::size_t d)
+{
+    const std::size_t n = xs.size();
+    if (n - d < 2)
+        return std::numeric_limits<double>::infinity();
+    double mean = 0.0;
+    for (std::size_t i = d; i < n; ++i)
+        mean += xs[i];
+    const double m = static_cast<double>(n - d);
+    mean /= m;
+    double var = 0.0;
+    for (std::size_t i = d; i < n; ++i)
+        var += (xs[i] - mean) * (xs[i] - mean);
+    var /= m;
+    return var / m;
+}
+
+} // namespace
+
+std::size_t
+mserTruncationPoint(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    if (n < 4)
+        return 0;
+    std::size_t best = 0;
+    double best_stat = mserStatistic(xs, 0);
+    // The conventional scan stops at n/2: beyond that the statistic is
+    // dominated by its own small-sample noise.
+    for (std::size_t d = 1; d <= n / 2; ++d) {
+        const double stat = mserStatistic(xs, d);
+        if (stat < best_stat) {
+            best_stat = stat;
+            best = d;
+        }
+    }
+    return best;
+}
+
+ConvergenceMonitor::ConvergenceMonitor(const ConvergenceConfig &config)
+    : config_(config)
+{
+    BUSARB_ASSERT(config_.relHalfWidthTarget > 0.0,
+                  "relHalfWidthTarget must be positive");
+    BUSARB_ASSERT(config_.lag1Threshold > 0.0,
+                  "lag1Threshold must be positive");
+    BUSARB_ASSERT(config_.mserImprovement > 0.0 &&
+                  config_.mserImprovement <= 1.0,
+                  "mserImprovement must be in (0, 1]");
+}
+
+void
+ConvergenceMonitor::addBatch(double batch_mean)
+{
+    means_.addBatch(batch_mean);
+    relHwTrajectory_.push_back(relHalfWidth());
+}
+
+Estimate
+ConvergenceMonitor::estimate() const
+{
+    return means_.estimate(config_.confidence);
+}
+
+double
+ConvergenceMonitor::relHalfWidth() const
+{
+    if (means_.numBatches() < 2)
+        return 0.0;
+    const Estimate e = estimate();
+    const double mag = std::abs(e.value);
+    if (mag < config_.meanFloor)
+        return e.halfWidth;
+    return e.halfWidth / mag;
+}
+
+double
+ConvergenceMonitor::lag1() const
+{
+    return autocorrelation(means_.batches(), 1);
+}
+
+std::size_t
+ConvergenceMonitor::mserTruncation() const
+{
+    return mserTruncationPoint(means_.batches());
+}
+
+bool
+ConvergenceMonitor::transientDetected() const
+{
+    const std::size_t cut = mserTruncation();
+    if (cut == 0)
+        return false;
+    const double untruncated = mserStatistic(means_.batches(), 0);
+    const double truncated = mserStatistic(means_.batches(), cut);
+    // Zero-variance suffix of a non-constant series is a genuine level
+    // shift, not noise.
+    if (untruncated == 0.0)
+        return false;
+    return truncated < config_.mserImprovement * untruncated;
+}
+
+ConvergenceVerdict
+ConvergenceMonitor::verdict() const
+{
+    if (transientDetected())
+        return ConvergenceVerdict::kTransientContaminated;
+    if (means_.numBatches() < config_.minBatches)
+        return ConvergenceVerdict::kUnderconverged;
+    if (relHalfWidth() > config_.relHalfWidthTarget)
+        return ConvergenceVerdict::kUnderconverged;
+    if (std::abs(lag1()) > config_.lag1Threshold)
+        return ConvergenceVerdict::kUnderconverged;
+    return ConvergenceVerdict::kConverged;
+}
+
+} // namespace busarb

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Streaming convergence diagnostics for batch-means output analysis.
+ *
+ * The paper's results (Section 4.1) rest on 10 batches x 8000 samples
+ * with Student-t 90% confidence intervals "generally within 5% of the
+ * reported measures". A run gives no signal today about whether that
+ * actually held. This monitor consumes batch means as they complete and
+ * tracks the three standard adequacy checks:
+ *
+ *  - the relative confidence-interval half-width trajectory (is the
+ *    interval tightening toward the target as batches accumulate?);
+ *  - the lag-1 autocorrelation of the batch means (are batches long
+ *    enough to be approximately independent? — stats/autocorrelation);
+ *  - an MSER-style truncation scan over the batch-mean series (did
+ *    warm-up transient leak into the measurement period?).
+ *
+ * The verdict is deterministic: it depends only on the batch means, so
+ * it is byte-stable across machines and --jobs counts.
+ */
+
+#ifndef BUSARB_STATS_CONVERGENCE_HH
+#define BUSARB_STATS_CONVERGENCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/batch_means.hh"
+
+namespace busarb {
+
+/** Outcome of a convergence diagnosis, ordered by severity. */
+enum class ConvergenceVerdict {
+    kConverged = 0,             ///< every check passed
+    kUnderconverged = 1,        ///< CI too wide or batches correlated
+    kTransientContaminated = 2, ///< warm-up transient leaked into batches
+};
+
+/** @return Stable lowercase name ("converged", "underconverged", ...). */
+const char *verdictName(ConvergenceVerdict v);
+
+/** @return The more severe of two verdicts. */
+ConvergenceVerdict worseVerdict(ConvergenceVerdict a, ConvergenceVerdict b);
+
+/** Thresholds for the convergence checks. */
+struct ConvergenceConfig
+{
+    /** Two-sided confidence level for the interval estimates. */
+    double confidence = 0.90;
+
+    /**
+     * Relative half-width target: |halfWidth / mean| at the final batch
+     * must be at or below this (the paper's "within 5%"). Means with
+     * magnitude below meanFloor are judged on absolute half-width
+     * against the same target instead, so near-zero measures do not
+     * divide by ~0.
+     */
+    double relHalfWidthTarget = 0.05;
+
+    /** Magnitude below which the relative test switches to absolute. */
+    double meanFloor = 1e-9;
+
+    /**
+     * |lag-1 autocorrelation| limit for the batch means; 0.3 is the
+     * common rule of thumb at ~10 batches (the estimator itself is
+     * noisy at that length).
+     */
+    double lag1Threshold = 0.3;
+
+    /**
+     * MSER improvement ratio: a truncation point d > 0 only flags
+     * transient contamination when MSER(d*) < mserImprovement *
+     * MSER(0), i.e. dropping the prefix shrinks the normalized
+     * standard-error statistic by a clear margin rather than by noise.
+     */
+    double mserImprovement = 0.5;
+
+    /** Batches below this count are underconverged by definition. */
+    std::size_t minBatches = 3;
+};
+
+/**
+ * MSER truncation scan over a series.
+ *
+ * Evaluates the MSER statistic var(x[d..n)) / (n - d) for every
+ * truncation point d in [0, n/2] and returns the minimizing d. A
+ * minimum at d > 0 says the series' prefix is biased relative to its
+ * steady state — for batch means, that warm-up transient leaked into
+ * the first batches.
+ *
+ * @param xs The series (batch means).
+ * @return The minimizing truncation point; 0 for series shorter than 4.
+ */
+std::size_t mserTruncationPoint(const std::vector<double> &xs);
+
+/**
+ * Streaming convergence monitor over one output measure.
+ *
+ * Feed it one value per completed batch; every diagnostic is available
+ * after each addBatch, so callers can snapshot the trajectory as the
+ * run progresses.
+ */
+class ConvergenceMonitor
+{
+  public:
+    explicit ConvergenceMonitor(const ConvergenceConfig &config = {});
+
+    /** Record the measure's value for one completed batch. */
+    void addBatch(double batch_mean);
+
+    /** @return Number of batches consumed. */
+    std::size_t numBatches() const { return means_.numBatches(); }
+
+    /** @return The configured thresholds. */
+    const ConvergenceConfig &config() const { return config_; }
+
+    /** @return Current batch-means estimate (mean and half-width). */
+    Estimate estimate() const;
+
+    /**
+     * @return |halfWidth / mean| of the current estimate; falls back to
+     *         the absolute half-width when |mean| < meanFloor. 0 with
+     *         fewer than two batches.
+     */
+    double relHalfWidth() const;
+
+    /**
+     * Relative half-width recorded after each batch: element b is the
+     * value when b + 1 batches had completed (element 0 is always 0 —
+     * one batch has no interval).
+     *
+     * @return The trajectory, one element per batch.
+     */
+    const std::vector<double> &relHalfWidthTrajectory() const
+    {
+        return relHwTrajectory_;
+    }
+
+    /** @return Lag-1 autocorrelation of the batch means so far. */
+    double lag1() const;
+
+    /** @return MSER truncation point over the batch means so far. */
+    std::size_t mserTruncation() const;
+
+    /**
+     * @return True when the MSER scan found a truncation point whose
+     *         statistic beats the untruncated one by the configured
+     *         improvement margin.
+     */
+    bool transientDetected() const;
+
+    /**
+     * Current verdict:
+     *  - kTransientContaminated when transientDetected();
+     *  - else kUnderconverged when there are fewer than minBatches
+     *    batches, the relative half-width misses the target, or |lag-1|
+     *    exceeds its threshold;
+     *  - else kConverged.
+     */
+    ConvergenceVerdict verdict() const;
+
+    /** @return The per-batch values consumed so far. */
+    const std::vector<double> &batchMeans() const
+    {
+        return means_.batches();
+    }
+
+  private:
+    ConvergenceConfig config_;
+    BatchMeans means_;
+    std::vector<double> relHwTrajectory_;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_CONVERGENCE_HH

@@ -96,6 +96,35 @@ struct ScenarioConfig
      */
     double snapshotEveryUnits = 0.0;
 
+    /**
+     * Attach the run-health monitor (obs/run_health.hh): streaming
+     * batch-means convergence diagnostics (relative CI half-width,
+     * lag-1 autocorrelation, MSER warm-up detection) with a per-run
+     * verdict in ScenarioResult::health and health.* metrics.
+     */
+    bool monitorHealth = false;
+
+    /**
+     * Additionally emit one deterministic health snapshot line (JSONL,
+     * keyed to simulated time) per completed batch into
+     * ScenarioResult::healthSnapshots. Implies monitorHealth.
+     */
+    bool healthSnapshots = false;
+
+    /** Relative CI half-width target (the paper's "within 5%"). */
+    double healthRelHwTarget = 0.05;
+
+    /** |lag-1| threshold for batch-mean independence. */
+    double healthLag1Threshold = 0.3;
+
+    /**
+     * Collect a per-run self-profile (obs/profiler.hh): per-phase
+     * wall-clock, events/sec, and queue-depth stats in
+     * ScenarioResult::profile. Wall-clock numbers are host-only and
+     * never feed back into the simulation.
+     */
+    bool profile = false;
+
     /** @return Sum of agent offered loads. */
     double totalOfferedLoad() const;
 };

@@ -76,15 +76,27 @@ TEST(MetricsRegistry, MergeFromAppliesPrefix)
 
     MetricsRegistry merged;
     merged.mergeFrom(run, "rr1.");
-    merged.mergeFrom(run, "rr1."); // second run of the same cell
     merged.mergeFrom(run, "fcfs1.");
 
-    EXPECT_EQ(merged.counter("rr1.bus.passes").value(), 10u);
+    EXPECT_EQ(merged.counter("rr1.bus.passes").value(), 5u);
     EXPECT_EQ(merged.counter("fcfs1.bus.passes").value(), 5u);
-    EXPECT_EQ(merged.gauge("rr1.wait.mean").count(), 2u);
+    EXPECT_EQ(merged.gauge("rr1.wait.mean").count(), 1u);
     EXPECT_EQ(merged.histogram("rr1.wait.histogram", 0.25, 8).count(),
-              2u);
+              1u);
     EXPECT_EQ(merged.size(), 6u);
+}
+
+TEST(MetricsRegistry, UnprefixedMergeFromAccumulates)
+{
+    MetricsRegistry run;
+    run.counter("bus.passes").add(5);
+    run.gauge("wait.mean").set(2.0);
+
+    MetricsRegistry merged;
+    merged.mergeFrom(run);
+    merged.mergeFrom(run); // accumulate-by-sum is fine without a prefix
+    EXPECT_EQ(merged.counter("bus.passes").value(), 10u);
+    EXPECT_EQ(merged.gauge("wait.mean").count(), 2u);
 }
 
 TEST(MetricsRegistry, CsvIsSortedByNameAcrossKinds)
@@ -236,6 +248,31 @@ TEST(MetricsRegistryDeathTest, KindConflictPanics)
     reg.counter("bus.passes").add(1);
     EXPECT_DEATH(reg.gauge("bus.passes"),
                  "metric 'bus.passes' redefined as a gauge");
+}
+
+TEST(MetricsRegistryDeathTest, DuplicatePrefixedMergePanics)
+{
+    MetricsRegistry run;
+    run.counter("bus.passes").add(5);
+
+    MetricsRegistry merged;
+    merged.mergeFrom(run, "rr1.");
+    // Merging the same run twice under one prefix would silently sum
+    // two runs into one metric; the diagnostic names the collision.
+    EXPECT_DEATH(merged.mergeFrom(run, "rr1."),
+                 "metric 'rr1.bus.passes' already exists; duplicate "
+                 "merge under prefix 'rr1.'");
+}
+
+TEST(MetricsRegistryDeathTest, PrefixedMergeOntoPlainNamePanics)
+{
+    MetricsRegistry run;
+    run.counter("passes").add(5);
+
+    MetricsRegistry merged;
+    merged.counter("rr1.passes").add(1);
+    EXPECT_DEATH(merged.mergeFrom(run, "rr1."),
+                 "metric 'rr1.passes' already exists");
 }
 
 } // namespace

@@ -94,6 +94,11 @@ TEST(Latency, SummaryAggregatesInUnits)
     EXPECT_DOUBLE_EQ(s.service.mean(), 1.0);
     EXPECT_DOUBLE_EQ(s.exposedArb.mean(), 0.5);
     EXPECT_DOUBLE_EQ(s.wait.max(), 0.5 + 1.4 + 1.0);
+    // Histogram-backed quantiles: monotone in p and within one bin
+    // (0.25 units) of the observed maximum at the top.
+    EXPECT_LE(s.waitQuantile(0.50), s.waitQuantile(0.95));
+    EXPECT_LE(s.waitQuantile(0.95), s.waitQuantile(0.99));
+    EXPECT_NEAR(s.waitQuantile(0.99), s.wait.max(), 0.25);
 }
 
 TEST(Latency, InFlightRequestsAreOmitted)
@@ -116,6 +121,9 @@ TEST(Latency, BreakdownTableAndCsvRender)
     printLatencyBreakdown(chunks, table);
     EXPECT_NE(table.str().find("synthetic"), std::string::npos);
     EXPECT_NE(table.str().find("exp. arb"), std::string::npos);
+    EXPECT_NE(table.str().find("W p50"), std::string::npos);
+    EXPECT_NE(table.str().find("W p95"), std::string::npos);
+    EXPECT_NE(table.str().find("W p99"), std::string::npos);
 
     std::ostringstream csv;
     writeLatencyCsv(chunks, csv);

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the simulator self-profiler (obs/profiler): phase timers,
+ * simulation-derived counters from the EventQueue probes, the
+ * deterministic profile.* metrics export, and the stderr report shape.
+ *
+ * The suite passes in both build flavours: assertions on probe data
+ * are conditional on BUSARB_PROFILING_ENABLED so -DBUSARB_PROFILING=OFF
+ * builds still verify that the API stays callable and the report stays
+ * all-zero.
+ */
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/profiler.hh"
+#include "sim/event_queue.hh"
+#include "sim/profiling.hh"
+
+namespace busarb {
+namespace {
+
+TEST(RunPhaseTest, NamesAreStable)
+{
+    EXPECT_STREQ(runPhaseName(RunPhase::kWarmup), "warmup");
+    EXPECT_STREQ(runPhaseName(RunPhase::kMeasure), "measure");
+    EXPECT_STREQ(runPhaseName(RunPhase::kDrain), "drain");
+}
+
+TEST(ProfileReportTest, TotalsAndRates)
+{
+    ProfileReport r;
+    EXPECT_DOUBLE_EQ(r.totalSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(r.eventsPerSecond(), 0.0);
+    r.phaseSeconds[0] = 1.0;
+    r.phaseSeconds[1] = 2.5;
+    r.phaseSeconds[2] = 0.5;
+    EXPECT_DOUBLE_EQ(r.totalSeconds(), 4.0);
+    // Zero events stays unmeasurable even with elapsed time.
+    EXPECT_DOUBLE_EQ(r.eventsPerSecond(), 0.0);
+    r.eventsExecuted = 8000;
+    EXPECT_DOUBLE_EQ(r.eventsPerSecond(), 2000.0);
+}
+
+TEST(ProfileReportTest, ExportsDeterministicSubsetOnly)
+{
+    ProfileReport r;
+    r.enabled = true;
+    r.phaseSeconds[1] = 3.0; // wall-clock: must NOT be exported
+    r.eventsExecuted = 1234;
+    r.maxQueueDepth = 17;
+    r.arbitrationPasses = 55;
+    r.retryPasses = 5;
+    r.completions = 400;
+    r.queueDepthLog2[0] = 3;
+    r.queueDepthLog2[4] = 90;
+    r.queueDepthLog2[12] = 1;
+
+    MetricsRegistry m;
+    r.exportMetrics(m);
+    EXPECT_EQ(m.counter("profile.events_executed").value(), 1234u);
+    EXPECT_EQ(m.counter("profile.queue.max_depth").value(), 17u);
+    EXPECT_EQ(m.counter("profile.arb.passes").value(), 55u);
+    EXPECT_EQ(m.counter("profile.arb.retry_passes").value(), 5u);
+    EXPECT_EQ(m.counter("profile.completions").value(), 400u);
+    // Sparse, zero-padded histogram names keep lexicographic order
+    // equal to numeric order.
+    EXPECT_EQ(m.counter("profile.queue.depth_log2.00").value(), 3u);
+    EXPECT_EQ(m.counter("profile.queue.depth_log2.04").value(), 90u);
+    EXPECT_EQ(m.counter("profile.queue.depth_log2.12").value(), 1u);
+    // 5 scalars + 3 non-empty buckets; nothing wall-clock-derived.
+    EXPECT_EQ(m.size(), 8u);
+    std::ostringstream csv;
+    m.writeCsv(csv);
+    EXPECT_EQ(csv.str().find("seconds"), std::string::npos);
+}
+
+TEST(ProfilerTest, FinishCapturesQueueCounters)
+{
+    EventQueue queue;
+    // Build up depth 8, then drain.
+    for (int i = 0; i < 8; ++i)
+        queue.schedule(i + 1, [] {});
+    queue.run();
+    Profiler prof;
+    prof.finish(queue, /*passes=*/12, /*retries=*/3, /*completions=*/8);
+    const ProfileReport &r = prof.report();
+    EXPECT_EQ(r.eventsExecuted, 8u);
+    EXPECT_EQ(r.arbitrationPasses, 12u);
+    EXPECT_EQ(r.retryPasses, 3u);
+    EXPECT_EQ(r.completions, 8u);
+#if BUSARB_PROFILING_ENABLED
+    EXPECT_TRUE(r.enabled);
+    EXPECT_EQ(r.maxQueueDepth, 8u);
+    // 8 schedule() calls at depths 1..8: log2 buckets 0,1,1,2,2,2,2,3.
+    EXPECT_EQ(r.queueDepthLog2[0], 1u);
+    EXPECT_EQ(r.queueDepthLog2[1], 2u);
+    EXPECT_EQ(r.queueDepthLog2[2], 4u);
+    EXPECT_EQ(r.queueDepthLog2[3], 1u);
+#else
+    EXPECT_FALSE(r.enabled);
+    EXPECT_EQ(r.maxQueueDepth, 0u);
+    for (std::uint64_t b : r.queueDepthLog2)
+        EXPECT_EQ(b, 0u);
+#endif
+}
+
+TEST(ProfilerTest, PhaseTimersAccumulate)
+{
+    Profiler prof;
+    {
+        ProfilePhaseTimer t(&prof, RunPhase::kMeasure);
+    }
+    {
+        ProfilePhaseTimer t(&prof, RunPhase::kMeasure);
+    }
+    const ProfileReport &r = prof.report();
+    const double measured =
+        r.phaseSeconds[static_cast<std::size_t>(RunPhase::kMeasure)];
+#if BUSARB_PROFILING_ENABLED
+    EXPECT_GE(measured, 0.0);
+#else
+    EXPECT_DOUBLE_EQ(measured, 0.0);
+#endif
+    EXPECT_DOUBLE_EQ(
+        r.phaseSeconds[static_cast<std::size_t>(RunPhase::kWarmup)], 0.0);
+}
+
+TEST(ProfilerTest, NullProfilerTimerIsSafe)
+{
+    // runScenario passes nullptr when --profile is off; the timer must
+    // be a no-op, not a crash.
+    ProfilePhaseTimer t(nullptr, RunPhase::kDrain);
+}
+
+TEST(ProfileReportTest, PrintShapes)
+{
+    ProfileReport r;
+    r.enabled = false;
+    std::ostringstream off;
+    r.print("rr1", off);
+    EXPECT_NE(off.str().find("profile[rr1]:"), std::string::npos);
+    EXPECT_NE(off.str().find("compiled out"), std::string::npos);
+
+    r.enabled = true;
+    r.eventsExecuted = 100;
+    r.phaseSeconds[1] = 0.5;
+    r.queueDepthLog2[2] = 40;
+    std::ostringstream on;
+    r.print("rr1", on);
+    const std::string text = on.str();
+    for (const char *piece :
+         {"events=100", "events/s=200", "warmup=", "measure=", "drain=",
+          "total=", "[4..]=40"})
+        EXPECT_NE(text.find(piece), std::string::npos)
+            << piece << " missing from: " << text;
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the run-health monitor (obs/run_health): combined verdict,
+ * health.* metrics export, snapshot JSONL stream, and the CLI summary
+ * line.
+ */
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/run_health.hh"
+
+namespace busarb {
+namespace {
+
+/** Count occurrences of `needle` in `haystack`. */
+std::size_t
+countOf(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    for (std::size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+/** A monitor fed `n` healthy (tight, stationary) batches. */
+RunHealthMonitor
+healthyMonitor(std::size_t n, bool snapshots = false)
+{
+    RunHealthConfig config;
+    // Loose lag-1: tiny deterministic series can correlate by chance.
+    config.convergence.lag1Threshold = 0.95;
+    config.label = "test-run";
+    config.snapshots = snapshots;
+    RunHealthMonitor m(config);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double jitter = (i % 3 == 0 ? 1.0 : -0.5) * 0.01;
+        m.onBatch(100.0 * static_cast<double>(i + 1), 5.0 + jitter,
+                  0.8 + jitter / 10.0);
+    }
+    return m;
+}
+
+TEST(RunHealthMonitorTest, CombinedVerdictIsWorstAcrossMeasures)
+{
+    // Healthy W, alternating utilization: the combined verdict must
+    // pick up the utilization monitor's failure.
+    RunHealthConfig config;
+    config.convergence.lag1Threshold = 0.3;
+    config.convergence.relHalfWidthTarget = 100.0;
+    RunHealthMonitor m(config);
+    for (int i = 0; i < 10; ++i)
+        m.onBatch(100.0 * (i + 1), 5.0, i % 2 == 0 ? 0.2 : 0.9);
+    EXPECT_EQ(m.waitMonitor().verdict(), ConvergenceVerdict::kConverged);
+    EXPECT_EQ(m.utilizationMonitor().verdict(),
+              ConvergenceVerdict::kUnderconverged);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kUnderconverged);
+}
+
+TEST(RunHealthMonitorTest, ReportMirrorsMonitors)
+{
+    const RunHealthMonitor m = healthyMonitor(10);
+    const RunHealthReport r = m.report();
+    EXPECT_TRUE(r.enabled);
+    EXPECT_EQ(r.verdict, m.verdict());
+    EXPECT_EQ(r.batches, 10u);
+    EXPECT_DOUBLE_EQ(r.wait.value, m.waitMonitor().estimate().value);
+    EXPECT_DOUBLE_EQ(r.waitRelHalfWidth, m.waitMonitor().relHalfWidth());
+    EXPECT_DOUBLE_EQ(r.waitLag1, m.waitMonitor().lag1());
+    EXPECT_EQ(r.waitMserCut, m.waitMonitor().mserTruncation());
+    ASSERT_EQ(r.waitRelHwTrajectory.size(), 10u);
+    EXPECT_DOUBLE_EQ(r.utilRelHalfWidth,
+                     m.utilizationMonitor().relHalfWidth());
+    EXPECT_STREQ(r.verdictLabel(), verdictName(r.verdict));
+}
+
+TEST(RunHealthMonitorTest, ExportsHealthMetrics)
+{
+    const RunHealthMonitor m = healthyMonitor(10);
+    MetricsRegistry reg;
+    m.exportMetrics(reg);
+    EXPECT_EQ(reg.counter("health.batches").value(), 10u);
+    EXPECT_DOUBLE_EQ(reg.gauge("health.verdict").sum(),
+                     static_cast<double>(static_cast<int>(m.verdict())));
+    const char *gauges[] = {
+        "health.wait.rel_half_width", "health.wait.lag1",
+        "health.wait.mser_cut",       "health.wait.mean",
+        "health.wait.half_width",     "health.util.rel_half_width",
+        "health.util.lag1",
+    };
+    for (const char *name : gauges)
+        EXPECT_EQ(reg.gauge(name).count(), 1u) << name;
+    EXPECT_DOUBLE_EQ(reg.gauge("health.wait.mean").sum(),
+                     m.waitMonitor().estimate().value);
+}
+
+TEST(RunHealthMonitorTest, SnapshotStreamHasOneLinePerBatch)
+{
+    const RunHealthMonitor m = healthyMonitor(6, /*snapshots=*/true);
+    const std::string &jsonl = m.snapshots();
+    EXPECT_EQ(countOf(jsonl, "\n"), 6u);
+    EXPECT_EQ(countOf(jsonl, "\"kind\": \"health\""), 6u);
+    EXPECT_EQ(countOf(jsonl, "\"run\": \"test-run\""), 6u);
+    // Keyed to simulated time: the first batch boundary is t=100.
+    EXPECT_NE(jsonl.find("\"t\": 100"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"batch\": 1"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"verdict\": \""), std::string::npos);
+    for (const char *field :
+         {"\"wait_mean\": ", "\"wait_half_width\": ",
+          "\"rel_half_width\": ", "\"lag1\": ", "\"mser_cut\": ",
+          "\"util_rel_half_width\": "})
+        EXPECT_EQ(countOf(jsonl, field), 6u) << field;
+}
+
+TEST(RunHealthMonitorTest, SnapshotsDisabledByDefault)
+{
+    const RunHealthMonitor m = healthyMonitor(6, /*snapshots=*/false);
+    EXPECT_TRUE(m.snapshots().empty());
+}
+
+TEST(RunHealthMonitorTest, SnapshotStreamIsDeterministic)
+{
+    // Two monitors fed the identical batch series must emit identical
+    // bytes — the property check_determinism.sh holds across --jobs.
+    const RunHealthMonitor a = healthyMonitor(8, /*snapshots=*/true);
+    const RunHealthMonitor b = healthyMonitor(8, /*snapshots=*/true);
+    EXPECT_FALSE(a.snapshots().empty());
+    EXPECT_EQ(a.snapshots(), b.snapshots());
+}
+
+TEST(RunHealthMonitorTest, SummaryLineLeadsWithVerdict)
+{
+    const RunHealthMonitor m = healthyMonitor(10);
+    std::ostringstream os;
+    m.printSummary(os);
+    const std::string line = os.str();
+    EXPECT_EQ(line.rfind("verdict=", 0), 0u) << line;
+    for (const char *field : {"batches=10", " W=", " rel_hw=", " lag1=",
+                              " mser_cut=", " util_rel_hw="})
+        EXPECT_NE(line.find(field), std::string::npos)
+            << field << " missing from: " << line;
+}
+
+TEST(RunHealthReportTest, DefaultReportIsDisabled)
+{
+    const RunHealthReport r;
+    EXPECT_FALSE(r.enabled);
+    EXPECT_EQ(r.verdict, ConvergenceVerdict::kUnderconverged);
+    EXPECT_EQ(r.batches, 0u);
+}
+
+} // namespace
+} // namespace busarb

@@ -4,6 +4,7 @@
  */
 
 #include <cmath>
+#include <cstddef>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +20,35 @@ TEST(AutocorrelationTest, ShortOrConstantSeriesIsZero)
     EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
     EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 1), 0.0);
     EXPECT_DOUBLE_EQ(autocorrelation({5.0, 5.0, 5.0, 5.0}, 1), 0.0);
+}
+
+TEST(AutocorrelationTest, DegenerateInputsHaveDefinedValues)
+{
+    // A single point offers no pairs at any lag: defined zero, not NaN.
+    EXPECT_DOUBLE_EQ(autocorrelation({7.5}, 1), 0.0);
+    EXPECT_FALSE(std::isnan(autocorrelation({7.5}, 4)));
+
+    // Lag at or beyond the series length leaves no overlapping pairs.
+    EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0, 3.0}, 3), 0.0);
+    EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0, 3.0}, 100), 0.0);
+
+    // Lag n-1 leaves one pair — still too short for an estimate.
+    EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0, 3.0}, 2), 0.0);
+
+    // Constant series have zero variance at every lag: the denominator
+    // degenerates and the estimator must report zero rather than 0/0.
+    const std::vector<double> flat(8, 42.0);
+    for (std::size_t lag = 1; lag <= flat.size(); ++lag) {
+        const double r = autocorrelation(flat, lag);
+        EXPECT_DOUBLE_EQ(r, 0.0) << "lag " << lag;
+    }
+
+    // Near-constant series stay finite (no catastrophic cancellation
+    // blowing up into inf/NaN).
+    const double r =
+        autocorrelation({1.0, 1.0 + 1e-9, 1.0 - 1e-9, 1.0, 1.0 + 1e-9}, 1);
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_LE(std::abs(r), 1.5);
 }
 
 TEST(AutocorrelationTest, AlternatingSeriesIsStronglyNegative)

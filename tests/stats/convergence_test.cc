@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the streaming convergence monitor and the MSER truncation
+ * scan (stats/convergence).
+ */
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/convergence.hh"
+
+namespace busarb {
+namespace {
+
+/** Feed a whole series into a fresh monitor. */
+ConvergenceMonitor
+monitorOver(const std::vector<double> &xs,
+            const ConvergenceConfig &config = {})
+{
+    ConvergenceMonitor m(config);
+    for (double x : xs)
+        m.addBatch(x);
+    return m;
+}
+
+/** n batches of `level` plus small deterministic iid-ish jitter. */
+std::vector<double>
+stationarySeries(std::size_t n, double level, double jitter,
+                 std::uint64_t seed = 123)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(level + jitter * (rng.uniform() - 0.5));
+    return xs;
+}
+
+TEST(ConvergenceVerdictTest, NamesAreStable)
+{
+    EXPECT_STREQ(verdictName(ConvergenceVerdict::kConverged), "converged");
+    EXPECT_STREQ(verdictName(ConvergenceVerdict::kUnderconverged),
+                 "underconverged");
+    EXPECT_STREQ(verdictName(ConvergenceVerdict::kTransientContaminated),
+                 "transient-contaminated");
+}
+
+TEST(ConvergenceVerdictTest, WorseVerdictOrdersBySeverity)
+{
+    const auto ok = ConvergenceVerdict::kConverged;
+    const auto under = ConvergenceVerdict::kUnderconverged;
+    const auto transient = ConvergenceVerdict::kTransientContaminated;
+    EXPECT_EQ(worseVerdict(ok, ok), ok);
+    EXPECT_EQ(worseVerdict(ok, under), under);
+    EXPECT_EQ(worseVerdict(under, ok), under);
+    EXPECT_EQ(worseVerdict(under, transient), transient);
+    EXPECT_EQ(worseVerdict(transient, ok), transient);
+    EXPECT_EQ(worseVerdict(transient, transient), transient);
+}
+
+TEST(MserTruncationTest, ShortSeriesNeverTruncates)
+{
+    EXPECT_EQ(mserTruncationPoint({}), 0u);
+    EXPECT_EQ(mserTruncationPoint({1.0}), 0u);
+    EXPECT_EQ(mserTruncationPoint({1.0, 9.0}), 0u);
+    EXPECT_EQ(mserTruncationPoint({9.0, 1.0, 1.0}), 0u);
+}
+
+TEST(MserTruncationTest, CutsTransientPrefix)
+{
+    // Two wildly biased warm-up batches ahead of a flat steady state:
+    // the scan must cut at (at least) the prefix boundary.
+    std::vector<double> xs = {40.0, 20.0};
+    const std::vector<double> steady = stationarySeries(10, 5.0, 0.1);
+    xs.insert(xs.end(), steady.begin(), steady.end());
+    const std::size_t cut = mserTruncationPoint(xs);
+    EXPECT_GE(cut, 2u);
+    EXPECT_LE(cut, xs.size() / 2);
+}
+
+TEST(MserTruncationTest, ScanNeverPassesHalfway)
+{
+    // Monotone decay: later suffixes always look "flatter", so the scan
+    // would run away without the n/2 stop.
+    std::vector<double> xs;
+    for (int i = 0; i < 12; ++i)
+        xs.push_back(100.0 * std::pow(0.5, i));
+    EXPECT_LE(mserTruncationPoint(xs), xs.size() / 2);
+}
+
+TEST(ConvergenceMonitorTest, RelHalfWidthNeedsTwoBatches)
+{
+    ConvergenceMonitor m;
+    EXPECT_DOUBLE_EQ(m.relHalfWidth(), 0.0);
+    m.addBatch(5.0);
+    EXPECT_DOUBLE_EQ(m.relHalfWidth(), 0.0);
+    m.addBatch(6.0);
+    EXPECT_GT(m.relHalfWidth(), 0.0);
+}
+
+TEST(ConvergenceMonitorTest, RelHalfWidthIsRelative)
+{
+    // Same spread at 10x the level must give ~10x smaller relative
+    // half-width.
+    const auto lo = monitorOver(stationarySeries(10, 5.0, 0.5));
+    const auto hi = monitorOver(stationarySeries(10, 50.0, 0.5));
+    ASSERT_GT(lo.relHalfWidth(), 0.0);
+    EXPECT_NEAR(hi.relHalfWidth(), lo.relHalfWidth() / 10.0,
+                lo.relHalfWidth() * 0.01);
+}
+
+TEST(ConvergenceMonitorTest, NearZeroMeanFallsBackToAbsolute)
+{
+    // Means around zero: relative width would divide by ~0. The monitor
+    // must judge the absolute half-width instead of exploding.
+    const auto m = monitorOver({1e-12, -1e-12, 1e-12, -1e-12, 1e-12});
+    const double rhw = m.relHalfWidth();
+    EXPECT_TRUE(std::isfinite(rhw));
+    EXPECT_DOUBLE_EQ(rhw, m.estimate().halfWidth);
+}
+
+TEST(ConvergenceMonitorTest, TrajectoryRecordsEveryBatch)
+{
+    const std::vector<double> xs = stationarySeries(8, 5.0, 0.4);
+    const auto m = monitorOver(xs);
+    const std::vector<double> &traj = m.relHalfWidthTrajectory();
+    ASSERT_EQ(traj.size(), xs.size());
+    // One batch has no interval.
+    EXPECT_DOUBLE_EQ(traj[0], 0.0);
+    for (std::size_t i = 1; i < traj.size(); ++i)
+        EXPECT_GT(traj[i], 0.0) << "batch " << i;
+    // The final entry is the live value.
+    EXPECT_DOUBLE_EQ(traj.back(), m.relHalfWidth());
+}
+
+TEST(ConvergenceMonitorTest, FewBatchesAreUnderconverged)
+{
+    ConvergenceMonitor m;
+    m.addBatch(5.0);
+    m.addBatch(5.0);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kUnderconverged);
+}
+
+TEST(ConvergenceMonitorTest, TightIidSeriesConverges)
+{
+    // Loose lag-1 threshold isolates the half-width check: 10 points of
+    // iid noise can show |lag1| > 0.3 by chance.
+    ConvergenceConfig config;
+    config.lag1Threshold = 0.95;
+    const auto m = monitorOver(stationarySeries(10, 5.0, 0.05), config);
+    EXPECT_LE(m.relHalfWidth(), config.relHalfWidthTarget);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kConverged);
+}
+
+TEST(ConvergenceMonitorTest, WideIntervalIsUnderconverged)
+{
+    ConvergenceConfig config;
+    config.lag1Threshold = 0.95;
+    const auto m = monitorOver(stationarySeries(10, 5.0, 8.0), config);
+    EXPECT_GT(m.relHalfWidth(), config.relHalfWidthTarget);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kUnderconverged);
+}
+
+TEST(ConvergenceMonitorTest, CorrelatedBatchesAreUnderconverged)
+{
+    // Alternating series: lag-1 near -1. Relax the half-width target so
+    // only the correlation check can fire.
+    ConvergenceConfig config;
+    config.relHalfWidthTarget = 100.0;
+    ConvergenceMonitor m(config);
+    for (int i = 0; i < 10; ++i)
+        m.addBatch(i % 2 == 0 ? 9.0 : 11.0);
+    EXPECT_LT(m.lag1(), -config.lag1Threshold);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kUnderconverged);
+}
+
+TEST(ConvergenceMonitorTest, TransientPrefixIsFlagged)
+{
+    ConvergenceMonitor m;
+    m.addBatch(40.0);
+    m.addBatch(20.0);
+    for (double x : stationarySeries(10, 5.0, 0.05))
+        m.addBatch(x);
+    EXPECT_TRUE(m.transientDetected());
+    EXPECT_GE(m.mserTruncation(), 2u);
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kTransientContaminated);
+}
+
+TEST(ConvergenceMonitorTest, NoiseTruncationDoesNotFlagTransient)
+{
+    // On a clean stationary series the MSER minimum may land at a small
+    // d > 0 by chance, but the improvement gate must keep the verdict
+    // free of false transient alarms.
+    ConvergenceConfig config;
+    config.lag1Threshold = 0.95;
+    const auto m = monitorOver(stationarySeries(10, 5.0, 0.05), config);
+    EXPECT_FALSE(m.transientDetected());
+    EXPECT_NE(m.verdict(), ConvergenceVerdict::kTransientContaminated);
+}
+
+TEST(ConvergenceMonitorTest, ConstantSeriesConverges)
+{
+    // Zero variance everywhere: half-width 0, lag1 defined 0, and the
+    // zero-untruncated-variance guard keeps MSER quiet.
+    const auto m = monitorOver(std::vector<double>(10, 5.0));
+    EXPECT_DOUBLE_EQ(m.relHalfWidth(), 0.0);
+    EXPECT_DOUBLE_EQ(m.lag1(), 0.0);
+    EXPECT_FALSE(m.transientDetected());
+    EXPECT_EQ(m.verdict(), ConvergenceVerdict::kConverged);
+}
+
+TEST(ConvergenceMonitorTest, EstimateMatchesBatchMeans)
+{
+    const std::vector<double> xs = stationarySeries(10, 5.0, 0.4);
+    const auto m = monitorOver(xs);
+    BatchMeans ref;
+    for (double x : xs)
+        ref.addBatch(x);
+    const Estimate a = m.estimate();
+    const Estimate b = ref.estimate(m.config().confidence);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_DOUBLE_EQ(a.halfWidth, b.halfWidth);
+    EXPECT_EQ(m.batchMeans(), xs);
+}
+
+TEST(ConvergenceDeathTest, RejectsInvalidConfig)
+{
+    ConvergenceConfig bad_target;
+    bad_target.relHalfWidthTarget = 0.0;
+    EXPECT_DEATH(ConvergenceMonitor{bad_target}, "relHalfWidthTarget");
+
+    ConvergenceConfig bad_lag;
+    bad_lag.lag1Threshold = -0.3;
+    EXPECT_DEATH(ConvergenceMonitor{bad_lag}, "lag1Threshold");
+
+    ConvergenceConfig bad_mser;
+    bad_mser.mserImprovement = 1.5;
+    EXPECT_DEATH(ConvergenceMonitor{bad_mser}, "mserImprovement");
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * busarb_report — run one scenario and render a self-contained run
+ * report (markdown or HTML) with the convergence verdict up top,
+ * followed by the summary estimates, per-batch measurements, latency
+ * breakdown, fairness audit, and the full metrics export.
+ *
+ * The report is a pure function of the scenario configuration (seed
+ * included), so a fixed command line reproduces the file byte for
+ * byte:
+ *
+ *   busarb_report --protocol rr1 --agents 10 --load 2.0 --out run.html
+ *   busarb_report --protocol fcfs1 --agents 30 --load 7.5 \
+ *                 --format md --out run.md
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiment/cli.hh"
+#include "experiment/protocols.hh"
+#include "experiment/run_report.hh"
+#include "experiment/runner.hh"
+#include "workload/scenario.hh"
+
+using namespace busarb;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser parser("busarb_report",
+                     "render a self-contained run report (markdown or "
+                     "HTML) for one scenario run");
+    parser.addStringFlag("protocol", "rr1",
+                         "protocol spec (same grammar as busarb_sim)");
+    parser.addIntFlag("agents", 10, "number of agents (1..N)");
+    parser.addDoubleFlag("load", 2.0, "total offered load");
+    parser.addDoubleFlag("cv", 1.0,
+                         "inter-request coefficient of variation");
+    parser.addBoolFlag("worst-case", false,
+                       "use the Table 4.5 just-miss workload instead of "
+                       "equal loads");
+    parser.addDoubleFlag("unequal-factor", 0.0,
+                         "agent 1's load multiplier (Table 4.4); 0 "
+                         "disables");
+    parser.addIntFlag("batches", 10, "measurement batches");
+    parser.addIntFlag("batch-size", 8000, "completions per batch");
+    parser.addIntFlag("warmup", 8000, "warm-up completions discarded");
+    parser.addIntFlag("seed", 0x5eedcafe, "random seed");
+    parser.addDoubleFlag("arb-overhead", 0.5,
+                         "arbitration overhead, transaction times");
+    parser.addDoubleFlag("snapshot-every", 0.0,
+                         "also embed fairness snapshots at this "
+                         "simulated-time interval (0 disables)");
+    parser.addBoolFlag("no-trace", false,
+                       "skip the binary trace capture (drops the "
+                       "latency-breakdown section; faster for large "
+                       "runs)");
+    parser.addStringFlag("format", "",
+                         "report format: md or html (default: by --out "
+                         "extension, .html for HTML, markdown "
+                         "otherwise)");
+    parser.addStringFlag("out", "",
+                         "output file; '-' writes to stdout (required)");
+    if (!parser.parse(argc, argv))
+        return parser.exitCode();
+
+    const std::string out_path = parser.getString("out");
+    if (out_path.empty()) {
+        std::cerr << "busarb_report: --out is required\n";
+        return 2;
+    }
+    RunReportFormat format = RunReportFormat::kMarkdown;
+    const std::string format_arg = parser.getString("format");
+    if (format_arg == "html") {
+        format = RunReportFormat::kHtml;
+    } else if (format_arg == "md" || format_arg == "markdown") {
+        format = RunReportFormat::kMarkdown;
+    } else if (format_arg.empty()) {
+        if (out_path.size() >= 5 &&
+            out_path.compare(out_path.size() - 5, 5, ".html") == 0)
+            format = RunReportFormat::kHtml;
+    } else {
+        std::cerr << "busarb_report: --format must be md or html, got '"
+                  << format_arg << "'\n";
+        return 2;
+    }
+
+    const int n = static_cast<int>(parser.getInt("agents"));
+    const double load = parser.getDouble("load");
+    const double cv = parser.getDouble("cv");
+    const double factor = parser.getDouble("unequal-factor");
+
+    ScenarioConfig config;
+    if (parser.getBool("worst-case")) {
+        config = worstCaseRrScenario(n, cv);
+    } else if (factor > 0.0) {
+        config = unequalLoadScenario(n, load / n, factor, cv);
+    } else {
+        config = equalLoadScenario(n, load, cv);
+    }
+    config.numBatches = static_cast<int>(parser.getInt("batches"));
+    config.batchSize =
+        static_cast<std::uint64_t>(parser.getInt("batch-size"));
+    config.warmup = static_cast<std::uint64_t>(parser.getInt("warmup"));
+    config.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
+    config.bus.arbitrationOverhead = parser.getDouble("arb-overhead");
+
+    // A report is the run's full observability surface: health verdict,
+    // snapshots, fairness audit, and (unless suppressed) the trace the
+    // latency breakdown is computed from.
+    config.monitorHealth = true;
+    config.healthSnapshots = true;
+    config.auditFairness = true;
+    config.snapshotEveryUnits = parser.getDouble("snapshot-every");
+    config.captureBinaryTrace = !parser.getBool("no-trace");
+
+    const ScenarioResult result =
+        runScenario(config, protocolFromSpec(parser.getString("protocol")));
+
+    if (out_path == "-") {
+        writeRunReport(config, result, format, std::cout);
+        return 0;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    writeRunReport(config, result, format, out);
+    if (!out) {
+        std::cerr << "error writing " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote "
+              << (format == RunReportFormat::kHtml ? "HTML" : "markdown")
+              << " report (" << result.protocolName << ", verdict "
+              << result.health.verdictLabel() << ") to " << out_path
+              << "\n";
+    return 0;
+}

@@ -107,6 +107,24 @@ main(int argc, char **argv)
     parser.addDoubleFlag("snapshot-every", 0.0,
                          "snapshot interval in simulated transaction "
                          "units; requires --snapshot-out");
+    parser.addBoolFlag("health", false,
+                       "attach the run-health monitor: batch-means "
+                       "convergence diagnostics (relative CI half-width, "
+                       "lag-1 autocorrelation, MSER warm-up detection) "
+                       "with a per-run verdict and health.* metrics");
+    parser.addBoolFlag("health-strict", false,
+                       "like --health, but exit with status 3 if any "
+                       "run's verdict is not 'converged'");
+    parser.addDoubleFlag("health-rel-hw", 0.05,
+                         "relative CI half-width target (the paper's "
+                         "\"within 5%\")");
+    parser.addDoubleFlag("health-lag1", 0.3,
+                         "|lag-1| autocorrelation threshold for "
+                         "batch-mean independence");
+    parser.addBoolFlag("profile", false,
+                       "print a per-run self-profile (events/sec, "
+                       "per-phase wall-clock, queue depth) to stderr "
+                       "and export profile.* metrics");
     parser.addIntFlag("jobs", 0,
                       "parallel scenario jobs for --compare runs (0 = "
                       "one per hardware thread); results are identical "
@@ -147,13 +165,26 @@ main(int argc, char **argv)
         std::max(0L, parser.getInt("flight-recorder")));
     const std::string snapshot_path = parser.getString("snapshot-out");
     const double snapshot_every = parser.getDouble("snapshot-every");
-    if (snapshot_path.empty() != (snapshot_every <= 0.0)) {
-        std::cerr << "busarb_sim: --snapshot-out and --snapshot-every "
-                     "must be given together\n";
+    const bool health_strict = parser.getBool("health-strict");
+    config.monitorHealth = parser.getBool("health") || health_strict;
+    if (snapshot_path.empty() && snapshot_every > 0.0) {
+        std::cerr << "busarb_sim: --snapshot-every requires "
+                     "--snapshot-out\n";
         return 2;
     }
+    if (!snapshot_path.empty() && snapshot_every <= 0.0 &&
+        !config.monitorHealth) {
+        std::cerr << "busarb_sim: --snapshot-out requires "
+                     "--snapshot-every and/or --health\n";
+        return 2;
+    }
+    config.healthSnapshots =
+        config.monitorHealth && !snapshot_path.empty();
+    config.healthRelHwTarget = parser.getDouble("health-rel-hw");
+    config.healthLag1Threshold = parser.getDouble("health-lag1");
+    config.profile = parser.getBool("profile");
     config.auditFairness =
-        parser.getBool("fairness") || !snapshot_path.empty();
+        parser.getBool("fairness") || snapshot_every > 0.0;
     config.fairnessWindowUnits = parser.getDouble("fairness-window");
     config.bypassBound = static_cast<int>(parser.getInt("bypass-bound"));
     config.snapshotEveryUnits = snapshot_every;
@@ -177,9 +208,18 @@ main(int argc, char **argv)
     std::vector<GridJob> grid;
     grid.push_back(
         {config, protocolFromSpec(parser.getString("protocol"))});
-    if (!parser.getString("compare").empty())
+    if (!parser.getString("compare").empty()) {
+        if (parser.getString("compare") ==
+            parser.getString("protocol")) {
+            // Identical specs would collide under the protocol-name
+            // metric prefix (and tell the reader nothing anyway).
+            std::cerr << "busarb_sim: --compare must name a protocol "
+                         "different from --protocol\n";
+            return 2;
+        }
         grid.push_back(
             {config, protocolFromSpec(parser.getString("compare"))});
+    }
 
     // A tracer writes to a shared stream while the simulation runs, so
     // traced runs must stay serial; plain runs fan out.
@@ -222,29 +262,45 @@ main(int argc, char **argv)
                       << "\n";
         }
     }
+    if (config.monitorHealth) {
+        std::cout << "\n";
+        for (const auto &r : results) {
+            std::cout << "health[" << r.protocolName << "]: ";
+            r.health.print(std::cout);
+            std::cout << "\n";
+        }
+    }
+    if (config.profile) {
+        for (const auto &r : results)
+            r.profile.print(r.protocolName, std::cerr);
+    }
     std::cout << "\njobs=" << jobs << " elapsed_ms="
               << formatFixed(elapsed_ms, 0) << "\n";
 
     if (!snapshot_path.empty()) {
-        // Per-run snapshot streams concatenated in submission order —
-        // byte-identical at any job count.
+        // Per-run snapshot streams (fairness first, then health)
+        // concatenated in submission order — byte-identical at any job
+        // count.
         std::ofstream out(snapshot_path, std::ios::binary);
         if (!out) {
             std::cerr << "cannot write " << snapshot_path << "\n";
             return 1;
         }
         std::size_t lines = 0;
+        const auto count_lines = [](const std::string &s) {
+            return static_cast<std::size_t>(
+                std::count(s.begin(), s.end(), '\n'));
+        };
         for (const auto &r : results) {
-            out << r.fairnessSnapshots;
-            lines += static_cast<std::size_t>(
-                std::count(r.fairnessSnapshots.begin(),
-                           r.fairnessSnapshots.end(), '\n'));
+            out << r.fairnessSnapshots << r.healthSnapshots;
+            lines += count_lines(r.fairnessSnapshots) +
+                     count_lines(r.healthSnapshots);
         }
         if (!out) {
             std::cerr << "error writing " << snapshot_path << "\n";
             return 1;
         }
-        std::cout << "wrote " << lines << " fairness snapshot(s) to "
+        std::cout << "wrote " << lines << " snapshot line(s) to "
                   << snapshot_path << "\n";
     }
 
@@ -298,7 +354,17 @@ main(int argc, char **argv)
     }
     if (!parser.getString("metrics-out").empty()) {
         // Merge per-run registries in submission order, prefixed by
-        // protocol so a --compare run keeps the two apart.
+        // protocol so a --compare run keeps the two apart. Two specs
+        // can resolve to one protocol name (e.g. option variants that
+        // do not change it); catch that before the merge panics.
+        if (results.size() == 2 &&
+            results[0].protocolName == results[1].protocolName) {
+            std::cerr << "busarb_sim: --protocol and --compare resolve "
+                         "to the same name '"
+                      << results[0].protocolName
+                      << "'; their metrics would collide\n";
+            return 2;
+        }
         MetricsRegistry merged;
         for (const auto &r : results)
             merged.mergeFrom(r.metrics, r.protocolName + ".");
@@ -309,6 +375,18 @@ main(int argc, char **argv)
         }
         std::cout << "wrote metrics to "
                   << parser.getString("metrics-out") << "\n";
+    }
+    if (health_strict) {
+        // Exit 3 is reserved for verdict failures, distinct from I/O
+        // errors (1) and usage errors (2), so scripts can gate on it.
+        for (const auto &r : results) {
+            if (r.health.verdict != ConvergenceVerdict::kConverged) {
+                std::cerr << "busarb_sim: run '" << r.protocolName
+                          << "' is " << r.health.verdictLabel()
+                          << " (--health-strict)\n";
+                return 3;
+            }
+        }
     }
     return 0;
 }

@@ -87,6 +87,23 @@ main(int argc, char **argv)
     parser.addIntFlag("bypass-bound", 0,
                       "audited bypass bound per grant (0 = the paper's "
                       "RR guarantee, N-1)");
+    parser.addBoolFlag("health", false,
+                       "attach the run-health monitor to every cell and "
+                       "print per-cell convergence verdicts; health.* "
+                       "measures land in --metrics-out");
+    parser.addBoolFlag("health-strict", false,
+                       "like --health, but exit with status 3 if any "
+                       "cell's verdict is not 'converged'");
+    parser.addDoubleFlag("health-rel-hw", 0.05,
+                         "relative CI half-width target (the paper's "
+                         "\"within 5%\")");
+    parser.addDoubleFlag("health-lag1", 0.3,
+                         "|lag-1| autocorrelation threshold for "
+                         "batch-mean independence");
+    parser.addBoolFlag("progress", false,
+                       "print a live progress/ETA line to stderr as grid "
+                       "cells complete (stderr only, so stdout and every "
+                       "artifact stay byte-identical)");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
 
@@ -103,6 +120,26 @@ main(int argc, char **argv)
         std::cerr << "need at least one protocol and one load\n";
         return 2;
     }
+    // Duplicate keys would collide under the per-cell metric prefixes
+    // (load=X.key.*) and silently double rows; reject them up front.
+    const auto has_duplicate = [](const std::vector<std::string> &v) {
+        for (std::size_t i = 0; i < v.size(); ++i)
+            for (std::size_t j = i + 1; j < v.size(); ++j)
+                if (v[i] == v[j])
+                    return true;
+        return false;
+    };
+    if (has_duplicate(protocol_keys)) {
+        std::cerr << "busarb_sweep: duplicate key in --protocols\n";
+        return 2;
+    }
+    if (has_duplicate(load_tokens)) {
+        std::cerr << "busarb_sweep: duplicate load in --loads\n";
+        return 2;
+    }
+    const bool health_strict = parser.getBool("health-strict");
+    const bool monitor_health =
+        parser.getBool("health") || health_strict;
 
     std::ofstream file;
     std::ostream *csv = nullptr;
@@ -135,6 +172,9 @@ main(int argc, char **argv)
         config.fairnessWindowUnits = parser.getDouble("fairness-window");
         config.bypassBound =
             static_cast<int>(parser.getInt("bypass-bound"));
+        config.monitorHealth = monitor_health;
+        config.healthRelHwTarget = parser.getDouble("health-rel-hw");
+        config.healthLag1Threshold = parser.getDouble("health-lag1");
         for (const auto &key : protocol_keys)
             grid.push_back({config, protocolFromSpec(key)});
     }
@@ -142,8 +182,33 @@ main(int argc, char **argv)
     const int jobs =
         resolveJobCount(static_cast<int>(parser.getInt("jobs")));
     const auto start = std::chrono::steady_clock::now();
+
+    // The live progress line is stderr-only and host-timing based;
+    // stdout and every written artifact stay byte-identical with or
+    // without it, at any job count.
+    std::function<void(std::size_t, std::size_t)> on_progress;
+    if (parser.getBool("progress")) {
+        on_progress = [start](std::size_t done, std::size_t total) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            const double eta =
+                done > 0 ? elapsed *
+                               static_cast<double>(total - done) /
+                               static_cast<double>(done)
+                         : 0.0;
+            std::cerr << "\rbusarb_sweep: " << done << "/" << total
+                      << " cells elapsed=" << formatFixed(elapsed, 1)
+                      << "s eta=" << formatFixed(eta, 1) << "s   ";
+            if (done == total)
+                std::cerr << "\n";
+            std::cerr.flush();
+        };
+    }
+
     const std::vector<ScenarioResult> results =
-        runScenarioGrid(grid, jobs);
+        runScenarioGrid(grid, jobs, on_progress);
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
@@ -175,6 +240,18 @@ main(int argc, char **argv)
                   << parser.getString("csv") << "\n";
     } else {
         table.print(std::cout);
+    }
+    if (monitor_health) {
+        std::size_t idx = 0;
+        for (const auto &token : load_tokens) {
+            for (const auto &key : protocol_keys) {
+                const ScenarioResult &r = results[idx++];
+                std::cout << "health[load=" << token << "." << key
+                          << "]: ";
+                r.health.print(std::cout);
+                std::cout << "\n";
+            }
+        }
     }
     if (!parser.getString("trace-out").empty()) {
         std::ofstream out(parser.getString("trace-out"),
@@ -246,5 +323,22 @@ main(int argc, char **argv)
     // stay byte-identical across job counts.
     std::cout << "jobs=" << jobs << " elapsed_ms="
               << formatFixed(elapsed_ms, 0) << "\n";
+    if (health_strict) {
+        // Exit 3 is reserved for verdict failures, distinct from I/O
+        // errors (1) and usage errors (2), so scripts can gate on it.
+        std::size_t idx = 0;
+        for (const auto &token : load_tokens) {
+            for (const auto &key : protocol_keys) {
+                const ScenarioResult &r = results[idx++];
+                if (r.health.verdict != ConvergenceVerdict::kConverged) {
+                    std::cerr << "busarb_sweep: cell load=" << token
+                              << "." << key << " is "
+                              << r.health.verdictLabel()
+                              << " (--health-strict)\n";
+                    return 3;
+                }
+            }
+        }
+    }
     return 0;
 }
