@@ -1,0 +1,107 @@
+#!/bin/sh
+# Tier-1 CLI contract check for all four tools:
+#
+#   exit 0  --help and --list-protocols (informational output)
+#   exit 2  usage errors: unknown flags, malformed protocol specs,
+#           malformed scenario files, and flag/scenario conflicts —
+#           always naming the offending token, with a did-you-mean
+#           hint where one is close
+#
+# Usage: check_cli.sh sim sweep trace report
+set -eu
+
+if [ $# -ne 4 ]; then
+    echo "usage: $0 sim sweep trace report" >&2
+    exit 2
+fi
+sim="$1"
+sweep="$2"
+trace="$3"
+report="$4"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fails=0
+
+# expect <code> <needle> <label> -- cmd...: run cmd, require the exit
+# status and (when needle is non-empty) the named token in the output.
+expect() {
+    want="$1"; needle="$2"; label="$3"
+    shift 3
+    set +e
+    "$@" > "$tmp/out" 2>&1
+    got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL: $label exited $got, expected $want" >&2
+        cat "$tmp/out" >&2
+        fails=$((fails + 1))
+        return 0
+    fi
+    if [ -n "$needle" ] && ! grep -q -e "$needle" "$tmp/out"; then
+        echo "FAIL: $label output lacks '$needle'" >&2
+        cat "$tmp/out" >&2
+        fails=$((fails + 1))
+    fi
+}
+
+# Informational flags exit 0 on every tool.
+expect 0 "--help" "sim --help" "$sim" --help
+expect 0 "--help" "sweep --help" "$sweep" --help
+expect 0 "--help" "trace --help" "$trace" --help
+expect 0 "--help" "report --help" "$report" --help
+expect 0 "wrr" "sim --list-protocols" "$sim" --list-protocols
+expect 0 "rr1" "sim --list-protocols" "$sim" --list-protocols
+expect 0 "wrr" "sweep --list-protocols" "$sweep" --list-protocols
+
+# Unknown flags exit 2 and name the flag, on every tool.
+expect 2 "no-such-flag" "sim unknown flag" "$sim" --no-such-flag
+expect 2 "no-such-flag" "sweep unknown flag" "$sweep" --no-such-flag
+expect 2 "no-such-flag" "trace unknown flag" "$trace" --no-such-flag
+expect 2 "no-such-flag" "report unknown flag" "$report" --no-such-flag
+
+# Malformed protocol specs exit 2 naming the offending token.
+expect 2 "nope" "sim unknown protocol" "$sim" --protocol nope
+expect 2 "did you mean 'rr1'" "sim protocol hint" "$sim" --protocol rr9
+expect 2 "bogus" "sim unknown option" "$sim" --protocol rr1:bogus=1
+expect 2 "out of range" "sim option range" \
+    "$sim" --protocol fcfs1:bits=99
+expect 2 "nope" "sweep unknown protocol" \
+    "$sweep" --protocols rr1,nope --loads 0.5
+expect 2 "did you mean 'fcfs1'" "report protocol hint" \
+    "$report" --protocol fcsf1 --out "$tmp/report.md"
+
+# busarb_trace without a mode or input is a usage error.
+expect 2 "" "trace without arguments" "$trace"
+
+# Scenario files: parse errors are line-numbered usage errors, and
+# workload flags conflict with --scenario.
+cat > "$tmp/bad.scenario" <<'EOF'
+[workload]
+agents = none
+EOF
+expect 2 "line 2" "sim bad scenario file" \
+    "$sim" --scenario "$tmp/bad.scenario"
+cat > "$tmp/ok.scenario" <<'EOF'
+[workload]
+agents = 4
+load = 1
+[run]
+batches = 2
+batch-size = 100
+EOF
+expect 2 "conflicts with --scenario" "sim scenario/flag conflict" \
+    "$sim" --scenario "$tmp/ok.scenario" --agents 8
+expect 2 "conflicts with --scenario" "report scenario/flag conflict" \
+    "$report" --scenario "$tmp/ok.scenario" --cv 2 \
+    --out "$tmp/report.md"
+expect 1 "cannot read" "sim missing scenario file" \
+    "$sim" --scenario "$tmp/does-not-exist.scenario"
+
+if [ "$fails" -ne 0 ]; then
+    echo "FAIL: $fails CLI contract check(s) failed" >&2
+    exit 1
+fi
+echo "ok: help/list exit 0; unknown flags, bad specs, bad scenario" \
+     "files and flag conflicts exit 2 naming the token"

@@ -15,6 +15,11 @@
 #      health lines are additionally diffed on their own.
 #   3. A malformed --loads token must exit with status 2 and name the
 #      offending token (regression for the unchecked std::stod abort).
+#   4. A --grid scenario file describing the same sweep must produce
+#      byte-identical CSV and metrics to the flag invocation — and
+#      itself be --jobs-independent. Both inputs reduce to one
+#      ScenarioSpec and expand through the same cell-assembly path, so
+#      any divergence means the seam has forked.
 #
 # Usage: check_determinism.sh /path/to/busarb_sweep /path/to/busarb_sim
 set -eu
@@ -116,6 +121,62 @@ if ! cmp -s "$tmp/serial-health.jsonl" "$tmp/parallel-health.jsonl"; then
     echo "FAIL: --jobs 8 health snapshot lines differ from --jobs 1" >&2
     diff -u "$tmp/serial-health.jsonl" "$tmp/parallel-health.jsonl" \
         >&2 || true
+    exit 1
+fi
+
+# Grid-file sweeps: the declarative twin of a flag invocation must be
+# byte-identical to it, at any job count.
+cat > "$tmp/sweep.grid" <<'EOF'
+[workload]
+family = equal
+agents = 8
+cv = 1
+
+[run]
+batches = 3
+batch-size = 400
+
+[sweep]
+loads = 0.5 2 7.5
+protocols = rr1 fcfs1 aap1
+EOF
+
+run_grid() {
+    "$sweep" --grid "$tmp/sweep.grid" --jobs "$1" --csv "$2" \
+             --metrics-out "$3" --fairness --health > /dev/null
+}
+
+run_grid 1 "$tmp/grid1.csv" "$tmp/grid1-metrics.csv"
+run_grid 8 "$tmp/grid8.csv" "$tmp/grid8-metrics.csv"
+
+if ! cmp -s "$tmp/grid1.csv" "$tmp/grid8.csv"; then
+    echo "FAIL: --grid at --jobs 8 CSV differs from --jobs 1" >&2
+    diff -u "$tmp/grid1.csv" "$tmp/grid8.csv" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/grid1-metrics.csv" "$tmp/grid8-metrics.csv"; then
+    echo "FAIL: --grid at --jobs 8 metrics differ from --jobs 1" >&2
+    diff -u "$tmp/grid1-metrics.csv" "$tmp/grid8-metrics.csv" \
+        >&2 || true
+    exit 1
+fi
+
+if ! cmp -s "$tmp/serial.csv" "$tmp/grid1.csv"; then
+    echo "FAIL: --grid CSV differs from the equivalent flag sweep" >&2
+    diff -u "$tmp/serial.csv" "$tmp/grid1.csv" >&2 || true
+    exit 1
+fi
+# Both inputs reduce to the same canonical ScenarioSpec, so even the
+# scenario.spec provenance annotation must match byte for byte.
+if ! cmp -s "$tmp/serial-metrics.csv" "$tmp/grid1-metrics.csv"; then
+    echo "FAIL: --grid metrics differ from the equivalent flag sweep" \
+        >&2
+    diff -u "$tmp/serial-metrics.csv" "$tmp/grid1-metrics.csv" \
+        >&2 || true
+    exit 1
+fi
+if ! grep -q "scenario.spec" "$tmp/grid1-metrics.csv"; then
+    echo "FAIL: metrics export lacks the scenario.spec annotation" >&2
     exit 1
 fi
 

@@ -197,6 +197,7 @@ ArgParser::parse(int argc, const char *const *argv)
             exitCode_ = 2;
             return false;
         }
+        flag.explicitlySet = true;
     }
     return true;
 }
@@ -233,6 +234,14 @@ bool
 ArgParser::getBool(const std::string &name) const
 {
     return find(name, Kind::kBool).value == "true";
+}
+
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    const auto it = flags_.find(name);
+    BUSARB_ASSERT(it != flags_.end(), "undeclared flag: ", name);
+    return it->second.explicitlySet;
 }
 
 std::string

@@ -118,6 +118,12 @@ class ArgParser
     double getDouble(const std::string &name) const;
     bool getBool(const std::string &name) const;
 
+    /**
+     * @retval true The flag appeared explicitly on the command line
+     *         (even if set to its default value).
+     */
+    bool wasSet(const std::string &name) const;
+
     /** Positional arguments left after flag parsing. */
     const std::vector<std::string> &positional() const
     {
@@ -136,6 +142,7 @@ class ArgParser
         std::string help;
         std::string value; // current (default or parsed), as text
         std::string defaultValue;
+        bool explicitlySet = false;
     };
 
     std::string program_;

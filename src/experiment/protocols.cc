@@ -1,14 +1,18 @@
 #include "experiment/protocols.hh"
 
-#include <cstdlib>
-#include <sstream>
-
 #include "baseline/aap_batch.hh"
 #include "baseline/aap_futurebus.hh"
 #include "baseline/central.hh"
 #include "baseline/fixed_priority.hh"
 #include "baseline/ticket_fcfs.hh"
+#include "experiment/protocol_registry.hh"
 #include "sim/logging.hh"
+
+// This file is the thin source-compatibility shim over the protocol
+// registry (experiment/protocol_registry.hh): the make*Factory helpers
+// stay for code that wires configs directly, while the by-name surface
+// (allProtocols, protocolByKey, protocolFromSpec) delegates to the
+// registry so there is exactly one spec grammar and one catalogue.
 
 namespace busarb {
 
@@ -89,214 +93,34 @@ makeTicketFcfsFactory(const TicketFcfsConfig &config)
 std::vector<NamedProtocol>
 allProtocols()
 {
-    return {
-        {"rr1", makeRoundRobinFactory(RrImplementation::kPriorityBit)},
-        {"rr2", makeRoundRobinFactory(RrImplementation::kLowRequestLine)},
-        {"rr3", makeRoundRobinFactory(RrImplementation::kNoExtraLine)},
-        {"fcfs1", makeFcfsFactory(FcfsStrategy::kIncrementOnLose)},
-        {"fcfs2", makeFcfsFactory(FcfsStrategy::kIncrLine)},
-        {"hybrid", makeHybridFactory()},
-        {"fixed", makeFixedPriorityFactory()},
-        {"aap1", makeBatchAapFactory()},
-        {"aap2", makeFuturebusAapFactory()},
-        {"central-rr", makeCentralRoundRobinFactory()},
-        {"central-fcfs", makeCentralFcfsFactory()},
-        {"ticket", makeTicketFcfsFactory()},
-    };
+    // Registration order, minus the parameterized family aliases
+    // ("rr", "fcfs") that duplicate protocols already listed.
+    std::vector<NamedProtocol> named;
+    for (const auto &desc : ProtocolRegistry::builtin().all()) {
+        if (desc.isAlias)
+            continue;
+        ProtocolSpec spec;
+        spec.key = desc.key;
+        named.push_back(
+            {desc.key, ProtocolRegistry::builtin().instantiate(spec)});
+    }
+    return named;
 }
 
 ProtocolFactory
 protocolByKey(const std::string &key)
 {
-    for (auto &named : allProtocols()) {
-        if (named.key == key)
-            return named.factory;
-    }
-    BUSARB_FATAL("unknown protocol key '", key, "'");
+    if (ProtocolRegistry::builtin().find(key) == nullptr)
+        BUSARB_FATAL("unknown protocol key '", key, "'");
+    ProtocolSpec spec;
+    spec.key = key;
+    return ProtocolRegistry::builtin().instantiate(spec);
 }
-
-namespace {
-
-/** One parsed option: name, and value ("" for bare flags). */
-struct SpecOption
-{
-    std::string name;
-    std::string value;
-    bool hasValue = false;
-};
-
-std::vector<SpecOption>
-parseOptions(const std::string &spec, const std::string &text)
-{
-    std::vector<SpecOption> options;
-    std::istringstream is(text);
-    std::string token;
-    while (std::getline(is, token, ',')) {
-        if (token.empty())
-            BUSARB_FATAL("empty option in protocol spec '", spec, "'");
-        SpecOption option;
-        const auto eq = token.find('=');
-        if (eq == std::string::npos) {
-            option.name = token;
-        } else {
-            option.name = token.substr(0, eq);
-            option.value = token.substr(eq + 1);
-            option.hasValue = true;
-        }
-        options.push_back(option);
-    }
-    return options;
-}
-
-int
-intValue(const std::string &spec, const SpecOption &option)
-{
-    if (!option.hasValue)
-        BUSARB_FATAL("option '", option.name, "' needs a value in '",
-                     spec, "'");
-    return std::atoi(option.value.c_str());
-}
-
-double
-doubleValue(const std::string &spec, const SpecOption &option)
-{
-    if (!option.hasValue)
-        BUSARB_FATAL("option '", option.name, "' needs a value in '",
-                     spec, "'");
-    return std::atof(option.value.c_str());
-}
-
-bool
-boolValue(const std::string &spec, const SpecOption &option)
-{
-    if (!option.hasValue)
-        return true;
-    if (option.value == "true")
-        return true;
-    if (option.value == "false")
-        return false;
-    BUSARB_FATAL("option '", option.name, "' expects true/false in '",
-                 spec, "'");
-}
-
-[[noreturn]] void
-unknownOption(const std::string &spec, const SpecOption &option)
-{
-    BUSARB_FATAL("unknown option '", option.name, "' in protocol spec '",
-                 spec, "'");
-}
-
-} // namespace
 
 ProtocolFactory
 protocolFromSpec(const std::string &spec)
 {
-    const auto colon = spec.find(':');
-    const std::string key = spec.substr(0, colon);
-    const std::vector<SpecOption> options =
-        (colon == std::string::npos)
-            ? std::vector<SpecOption>{}
-            : parseOptions(spec, spec.substr(colon + 1));
-
-    if (key == "rr1" || key == "rr2" || key == "rr3") {
-        RrConfig config;
-        config.impl = (key == "rr1")   ? RrImplementation::kPriorityBit
-                      : (key == "rr2") ? RrImplementation::kLowRequestLine
-                                       : RrImplementation::kNoExtraLine;
-        for (const auto &o : options) {
-            if (o.name == "priority")
-                config.enablePriority = boolValue(spec, o);
-            else if (o.name == "rr-within-class")
-                config.rrWithinPriorityClass = boolValue(spec, o);
-            else
-                unknownOption(spec, o);
-        }
-        return makeRoundRobinFactory(config);
-    }
-    if (key == "fcfs1" || key == "fcfs2") {
-        FcfsConfig config;
-        config.strategy = (key == "fcfs1")
-                              ? FcfsStrategy::kIncrementOnLose
-                              : FcfsStrategy::kIncrLine;
-        for (const auto &o : options) {
-            if (o.name == "bits") {
-                config.counterBits = intValue(spec, o);
-            } else if (o.name == "wrap") {
-                config.overflow = OverflowPolicy::kWrap;
-            } else if (o.name == "saturate") {
-                config.overflow = OverflowPolicy::kSaturate;
-            } else if (o.name == "window") {
-                config.incrWindow = doubleValue(spec, o);
-            } else if (o.name == "r") {
-                config.maxOutstandingHint = intValue(spec, o);
-            } else if (o.name == "priority") {
-                config.enablePriority = boolValue(spec, o);
-            } else if (o.name == "counting") {
-                if (o.value == "always") {
-                    config.priorityCounting =
-                        PriorityCounting::kAlwaysIncrement;
-                } else if (o.value == "matched") {
-                    config.priorityCounting =
-                        PriorityCounting::kMatchedIncrement;
-                } else if (o.value == "dual") {
-                    config.priorityCounting =
-                        PriorityCounting::kDualIncrLines;
-                } else {
-                    BUSARB_FATAL("counting= expects always|matched|dual "
-                                 "in '", spec, "'");
-                }
-            } else {
-                unknownOption(spec, o);
-            }
-        }
-        return makeFcfsFactory(config);
-    }
-    if (key == "hybrid") {
-        HybridConfig config;
-        for (const auto &o : options) {
-            if (o.name == "bits")
-                config.counterBits = intValue(spec, o);
-            else
-                unknownOption(spec, o);
-        }
-        return makeHybridFactory(config);
-    }
-    if (key == "ticket") {
-        TicketFcfsConfig config;
-        for (const auto &o : options) {
-            if (o.name == "bits")
-                config.ticketBits = intValue(spec, o);
-            else
-                unknownOption(spec, o);
-        }
-        return makeTicketFcfsFactory(config);
-    }
-    if (key == "fixed" || key == "aap1" || key == "aap2") {
-        bool priority = false;
-        for (const auto &o : options) {
-            if (o.name == "priority")
-                priority = boolValue(spec, o);
-            else
-                unknownOption(spec, o);
-        }
-        if (key == "fixed")
-            return makeFixedPriorityFactory(priority);
-        if (key == "aap1") {
-            return [priority] {
-                return std::make_unique<BatchAapProtocol>(priority);
-            };
-        }
-        return [priority] {
-            return std::make_unique<FuturebusAapProtocol>(priority);
-        };
-    }
-    if (key == "central-rr" || key == "central-fcfs") {
-        if (!options.empty())
-            unknownOption(spec, options.front());
-        return protocolByKey(key);
-    }
-    BUSARB_FATAL("unknown protocol key '", key, "' in spec '", spec,
-                 "'");
+    return ProtocolRegistry::builtin().fromSpec(spec);
 }
 
 } // namespace busarb

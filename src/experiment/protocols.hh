@@ -2,6 +2,11 @@
  * @file
  * Convenience factories for every protocol in the library, so benchmark
  * harnesses and examples can select protocols by name.
+ *
+ * The by-key/by-spec entry points here are thin shims over the protocol
+ * registry (experiment/protocol_registry.hh), which is the one
+ * construction seam the tools and the runner use; new code should go
+ * through ProtocolRegistry::builtin() directly.
  */
 
 #ifndef BUSARB_EXPERIMENT_PROTOCOLS_HH

@@ -232,7 +232,8 @@ class HtmlSink : public ReportSink
 /** The shared content pass. */
 void
 renderReport(ReportSink &sink, const ScenarioConfig &config,
-             const ScenarioResult &result)
+             const ScenarioResult &result,
+             const std::string &scenario_spec)
 {
     sink.begin("busarb run report — " + result.protocolName);
 
@@ -257,6 +258,13 @@ renderReport(ReportSink &sink, const ScenarioConfig &config,
                    "; seed " + formatUint(config.seed) + ", " +
                    formatFixed(100.0 * config.confidence, 0) +
                    "% confidence intervals");
+
+    if (!scenario_spec.empty()) {
+        // The canonical spec makes the report replayable: save this
+        // block to a file and rerun with --scenario.
+        sink.heading("Scenario spec");
+        sink.codeBlock("ini", scenario_spec);
+    }
 
     sink.heading("Estimates");
     {
@@ -396,17 +404,17 @@ renderReport(ReportSink &sink, const ScenarioConfig &config,
 void
 writeRunReport(const ScenarioConfig &config,
                const ScenarioResult &result, RunReportFormat format,
-               std::ostream &os)
+               std::ostream &os, const std::string &scenario_spec)
 {
     switch (format) {
       case RunReportFormat::kMarkdown: {
         MarkdownSink sink(os);
-        renderReport(sink, config, result);
+        renderReport(sink, config, result, scenario_spec);
         return;
       }
       case RunReportFormat::kHtml: {
         HtmlSink sink(os);
-        renderReport(sink, config, result);
+        renderReport(sink, config, result, scenario_spec);
         return;
       }
     }

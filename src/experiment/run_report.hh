@@ -16,6 +16,7 @@
 #define BUSARB_EXPERIMENT_RUN_REPORT_HH
 
 #include <iosfwd>
+#include <string>
 
 #include "experiment/runner.hh"
 #include "workload/scenario.hh"
@@ -40,10 +41,14 @@ enum class RunReportFormat {
  * @param result Its result.
  * @param format Markdown or HTML.
  * @param os Destination stream.
+ * @param scenario_spec Canonical scenario text (ScenarioSpec::format())
+ *        the run was built from; rendered as a replayable "Scenario
+ *        spec" section when non-empty.
  */
 void writeRunReport(const ScenarioConfig &config,
                     const ScenarioResult &result, RunReportFormat format,
-                    std::ostream &os);
+                    std::ostream &os,
+                    const std::string &scenario_spec = "");
 
 } // namespace busarb
 

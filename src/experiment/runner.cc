@@ -370,6 +370,9 @@ runScenarioGrid(const std::vector<GridJob> &grid, int jobs,
             std::chrono::duration<double, std::milli>(Clock::now() -
                                                       start)
                 .count();
+        result.spec = job.spec;
+        if (!job.spec.empty())
+            result.metrics.setAnnotation("protocol.spec", job.spec);
         return result;
     };
 

@@ -68,6 +68,15 @@ struct BatchStats
 struct ScenarioResult
 {
     std::string protocolName;
+
+    /**
+     * The protocol spec string this run was built from; "" when the
+     * caller constructed the factory directly. Filled by
+     * runScenarioGrid from GridJob::spec and recorded as the
+     * `protocol.spec` metrics annotation for provenance.
+     */
+    std::string spec;
+
     int numAgents = 0;
     double confidence = 0.90;
     std::vector<BatchStats> batches;
@@ -214,6 +223,14 @@ struct GridJob
 {
     ScenarioConfig config;
     ProtocolFactory factory;
+
+    /**
+     * Optional protocol spec string the factory was built from
+     * (registry grammar, experiment/protocol_registry.hh). When
+     * non-empty it is copied into ScenarioResult::spec and annotated
+     * into the cell's metrics as `protocol.spec`.
+     */
+    std::string spec = {};
 };
 
 /**

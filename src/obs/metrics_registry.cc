@@ -12,22 +12,26 @@ namespace busarb {
 
 namespace {
 
-enum class Kind { kCounter, kGauge, kHistogram };
+enum class Kind { kCounter, kGauge, kHistogram, kAnnotation };
 
 /** (name, kind) in global lexicographic name order. */
 std::vector<std::pair<const std::string *, Kind>>
 orderedNames(const std::map<std::string, Counter> &counters,
              const std::map<std::string, Gauge> &gauges,
-             const std::map<std::string, Histogram> &histograms)
+             const std::map<std::string, Histogram> &histograms,
+             const std::map<std::string, std::string> &annotations)
 {
     std::vector<std::pair<const std::string *, Kind>> names;
-    names.reserve(counters.size() + gauges.size() + histograms.size());
+    names.reserve(counters.size() + gauges.size() + histograms.size() +
+                  annotations.size());
     for (const auto &[name, c] : counters)
         names.emplace_back(&name, Kind::kCounter);
     for (const auto &[name, g] : gauges)
         names.emplace_back(&name, Kind::kGauge);
     for (const auto &[name, h] : histograms)
         names.emplace_back(&name, Kind::kHistogram);
+    for (const auto &[name, a] : annotations)
+        names.emplace_back(&name, Kind::kAnnotation);
     std::sort(names.begin(), names.end(),
               [](const auto &a, const auto &b) {
                   return *a.first < *b.first;
@@ -44,9 +48,11 @@ MetricsRegistry::checkKindFree(const std::string &name,
     const bool is_counter = counters_.count(name) != 0;
     const bool is_gauge = gauges_.count(name) != 0;
     const bool is_hist = histograms_.count(name) != 0;
+    const bool is_annotation = annotations_.count(name) != 0;
     BUSARB_ASSERT((!is_counter || std::string(kind) == "counter") &&
                   (!is_gauge || std::string(kind) == "gauge") &&
-                  (!is_hist || std::string(kind) == "histogram"),
+                  (!is_hist || std::string(kind) == "histogram") &&
+                  (!is_annotation || std::string(kind) == "annotation"),
                   "metric '", name, "' redefined as a ", kind);
 }
 
@@ -76,16 +82,26 @@ MetricsRegistry::histogram(const std::string &name, double bin_width,
     return it->second;
 }
 
+void
+MetricsRegistry::setAnnotation(const std::string &name,
+                               const std::string &value)
+{
+    checkKindFree(name, "annotation");
+    annotations_[name] = value;
+}
+
 bool
 MetricsRegistry::empty() const
 {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() &&
+           histograms_.empty() && annotations_.empty();
 }
 
 std::size_t
 MetricsRegistry::size() const
 {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           annotations_.size();
 }
 
 void
@@ -98,7 +114,8 @@ MetricsRegistry::checkMergeFresh(const std::string &name,
     // silently sum unrelated runs into one metric.
     BUSARB_ASSERT(counters_.count(name) == 0 &&
                   gauges_.count(name) == 0 &&
-                  histograms_.count(name) == 0,
+                  histograms_.count(name) == 0 &&
+                  annotations_.count(name) == 0,
                   "mergeFrom: metric '", name,
                   "' already exists; duplicate merge under prefix '",
                   prefix, "'");
@@ -117,6 +134,8 @@ MetricsRegistry::mergeFrom(const MetricsRegistry &other,
             checkMergeFresh(prefix + name, prefix);
         for (const auto &[name, h] : other.histograms_)
             checkMergeFresh(prefix + name, prefix);
+        for (const auto &[name, a] : other.annotations_)
+            checkMergeFresh(prefix + name, prefix);
     }
     for (const auto &[name, c] : other.counters_)
         counter(prefix + name).merge(c);
@@ -124,19 +143,28 @@ MetricsRegistry::mergeFrom(const MetricsRegistry &other,
         gauge(prefix + name).merge(g);
     for (const auto &[name, h] : other.histograms_)
         histogram(prefix + name, h.binWidth(), h.numBins()).merge(h);
+    for (const auto &[name, a] : other.annotations_) {
+        // Annotations never aggregate: an un-prefixed merge may only
+        // restate the same fact, never change it.
+        const auto it = annotations_.find(prefix + name);
+        BUSARB_ASSERT(it == annotations_.end() || it->second == a,
+                      "mergeFrom: annotation '", prefix + name,
+                      "' has conflicting values");
+        setAnnotation(prefix + name, a);
+    }
 }
 
 void
 MetricsRegistry::writeCsv(std::ostream &os) const
 {
-    os << "name,kind,count,sum,min,max,p50,p90,p99\n";
+    os << "name,kind,count,sum,min,max,p50,p90,p99,value\n";
     for (const auto &[name, kind] :
-         orderedNames(counters_, gauges_, histograms_)) {
+         orderedNames(counters_, gauges_, histograms_, annotations_)) {
         writeCsvField(os, *name);
         switch (kind) {
           case Kind::kCounter:
             os << ",counter," << formatUint(counters_.at(*name).value())
-               << ",,,,,,\n";
+               << ",,,,,,,\n";
             break;
           case Kind::kGauge: {
             const Gauge &g = gauges_.at(*name);
@@ -148,7 +176,7 @@ MetricsRegistry::writeCsv(std::ostream &os) const
             } else {
                 os << ",";
             }
-            os << ",,,\n";
+            os << ",,,,\n";
             break;
           }
           case Kind::kHistogram: {
@@ -157,9 +185,14 @@ MetricsRegistry::writeCsv(std::ostream &os) const
                << formatDouble(h.sum()) << ",,,"
                << formatDouble(h.quantile(0.50)) << ","
                << formatDouble(h.quantile(0.90)) << ","
-               << formatDouble(h.quantile(0.99)) << "\n";
+               << formatDouble(h.quantile(0.99)) << ",\n";
             break;
           }
+          case Kind::kAnnotation:
+            os << ",annotation,,,,,,,,";
+            writeCsvField(os, annotations_.at(*name));
+            os << "\n";
+            break;
         }
     }
 }
@@ -170,7 +203,7 @@ MetricsRegistry::writeJson(std::ostream &os) const
     os << "{";
     bool first = true;
     for (const auto &[name, kind] :
-         orderedNames(counters_, gauges_, histograms_)) {
+         orderedNames(counters_, gauges_, histograms_, annotations_)) {
         if (!first)
             os << ",";
         first = false;
@@ -225,6 +258,11 @@ MetricsRegistry::writeJson(std::ostream &os) const
             os << "]}";
             break;
           }
+          case Kind::kAnnotation:
+            os << "{\"kind\": \"annotation\", \"value\": ";
+            writeJsonString(os, annotations_.at(*name));
+            os << "}";
+            break;
         }
     }
     os << "\n}\n";

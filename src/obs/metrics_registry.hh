@@ -12,6 +12,12 @@
  *  - Histogram: fixed-bin-width distribution (stats/histogram.hh);
  *    merge = bin-wise sum.
  *
+ * Registries also carry string annotations — provenance facts such as
+ * the scenario spec a run was built from. Annotations export alongside
+ * the metrics (they share the name ordering) but never aggregate:
+ * merging two different values for one annotation name is a caller
+ * bug.
+ *
  * Threading model: a registry is deliberately lock-free because it is
  * never shared while hot. Each scenario run (each JobPool worker job)
  * accumulates into its own registry; at the end the per-run registries
@@ -146,10 +152,24 @@ class MetricsRegistry
                          double bin_width = 0.25,
                          std::size_t bins = 1200);
 
-    /** @return True when no metric has been created. */
+    /**
+     * Set the string annotation `name` (overwriting any prior value).
+     * The name must not collide with a metric.
+     */
+    void setAnnotation(const std::string &name,
+                       const std::string &value);
+
+    /** @return All annotations, in name order. */
+    const std::map<std::string, std::string> &
+    annotations() const
+    {
+        return annotations_;
+    }
+
+    /** @return True when no metric or annotation has been created. */
     bool empty() const;
 
-    /** @return Total number of metrics. */
+    /** @return Total number of metrics and annotations. */
     std::size_t size() const;
 
     /**
@@ -175,10 +195,11 @@ class MetricsRegistry
     /**
      * Write all metrics as CSV.
      *
-     * Columns: name, kind, count, sum, min, max, p50, p90, p99.
+     * Columns: name, kind, count, sum, min, max, p50, p90, p99, value.
      * Counters fill count only; gauges fill count/sum/min/max;
-     * histograms fill count/sum and the quantile columns. Unused
-     * fields are left empty.
+     * histograms fill count/sum and the quantile columns; annotations
+     * fill only the trailing value column. Unused fields are left
+     * empty.
      *
      * @param os Destination stream.
      */
@@ -207,6 +228,7 @@ class MetricsRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, std::string> annotations_;
 
     /** Panic if `name` already exists with a different kind. */
     void checkKindFree(const std::string &name, const char *kind) const;

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit, schedule, and differential tests for the weighted round-robin
+ * protocol (RR implementation 1 plus a claim line carrying burst
+ * credits).
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/round_robin.hh"
+#include "core/weighted_round_robin.hh"
+#include "random/rng.hh"
+#include "support/protocol_driver.hh"
+
+namespace busarb {
+namespace {
+
+using test::ProtocolDriver;
+
+WrrConfig
+weightsOf(std::vector<int> weights)
+{
+    WrrConfig c;
+    c.weights = std::move(weights);
+    return c;
+}
+
+TEST(WeightedRoundRobinTest, FirstArbitrationHighestIdentityWins)
+{
+    WeightedRoundRobinProtocol protocol(weightsOf({1, 1, 1, 1, 1, 1, 1, 1}));
+    ProtocolDriver driver(protocol, 8);
+    driver.post(3, 0);
+    driver.post(7, 0);
+    driver.post(5, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(10), 7);
+}
+
+TEST(WeightedRoundRobinTest, BurstCreditsGrantConsecutiveWins)
+{
+    // Weights {2,1,1}, every agent saturated with 4 queued requests.
+    // Worked schedule: the RR scan serves 3, 2, then 1 — and agent 1,
+    // holding weight 2, immediately claims one extra win before the
+    // scan resumes. Each 4-pass period is 3, 2, 1, 1.
+    WeightedRoundRobinProtocol protocol(weightsOf({2, 1, 1}));
+    ProtocolDriver driver(protocol, 3);
+    for (AgentId a = 1; a <= 3; ++a)
+        for (int i = 0; i < 4; ++i)
+            driver.post(a, 0);
+    std::vector<AgentId> order;
+    for (int i = 0; i < 12; ++i)
+        order.push_back(driver.arbitrateAndServe(10 + i));
+    EXPECT_EQ(order, (std::vector<AgentId>{3, 2, 1, 1, 3, 2, 1, 1,
+                                           3, 2, 3, 2}));
+}
+
+TEST(WeightedRoundRobinTest, CreditsExpireWithoutBackToBackRequests)
+{
+    // A weight only matters while its holder keeps a request pending:
+    // if the winner does not compete in the following pass its claim
+    // line stays idle, and the ordinary RR order proceeds.
+    WeightedRoundRobinProtocol protocol(weightsOf({4, 1, 1}));
+    ProtocolDriver driver(protocol, 3);
+    driver.post(1, 0);
+    EXPECT_EQ(driver.arbitrateAndServe(1), 1);
+    EXPECT_EQ(protocol.credits(), 3);
+    // Agents 2 and 3 request; agent 1 does not. The claim never
+    // asserts, so the scan serves 3 then 2 as plain RR would.
+    driver.post(2, 2);
+    driver.post(3, 2);
+    EXPECT_EQ(driver.arbitrateAndServe(3), 3);
+    EXPECT_EQ(driver.arbitrateAndServe(4), 2);
+}
+
+TEST(WeightedRoundRobinTest, SingleWeightBroadcastsToAllAgents)
+{
+    WeightedRoundRobinProtocol protocol(weightsOf({3}));
+    protocol.reset(5);
+    for (AgentId a = 1; a <= 5; ++a)
+        EXPECT_EQ(protocol.weightOf(a), 3);
+}
+
+TEST(WeightedRoundRobinTest, UnitWeightsMatchRoundRobinImplOne)
+{
+    // With all weights 1 the claim line never asserts, so the schedule
+    // must be exactly RR implementation 1's under any request pattern.
+    WeightedRoundRobinProtocol wrr(weightsOf({}));
+    RrConfig rr_config;
+    rr_config.impl = RrImplementation::kPriorityBit;
+    RoundRobinProtocol rr(rr_config);
+
+    const int agents = 6;
+    ProtocolDriver wrr_driver(wrr, agents);
+    ProtocolDriver rr_driver(rr, agents);
+
+    Rng rng(0xd1ffu);
+    Tick now = 0;
+    for (int step = 0; step < 500; ++step) {
+        ++now;
+        const AgentId a = static_cast<AgentId>(1 + rng.below(agents));
+        wrr_driver.post(a, now);
+        rr_driver.post(a, now);
+        if (step % 3 == 0) {
+            ++now;
+            EXPECT_EQ(wrr_driver.arbitrateAndServe(now),
+                      rr_driver.arbitrateAndServe(now));
+        }
+    }
+}
+
+TEST(WeightedRoundRobinTest, ExtraClaimLineInWordWidth)
+{
+    WeightedRoundRobinProtocol wrr;
+    wrr.reset(8); // 3 identity bits
+    RoundRobinProtocol rr;
+    rr.reset(8);
+    EXPECT_EQ(wrr.arbitrationLineCount(), rr.arbitrationLineCount() + 1);
+}
+
+TEST(WeightedRoundRobinDeathTest, RejectsNonPositiveWeights)
+{
+    EXPECT_DEATH(WeightedRoundRobinProtocol{weightsOf({2, 0, 1})},
+                 "weights must be >= 1");
+}
+
+TEST(WeightedRoundRobinDeathTest, RejectsWeightCountMismatch)
+{
+    WeightedRoundRobinProtocol protocol(weightsOf({2, 1, 1}));
+    EXPECT_DEATH(protocol.reset(4), "3 entries for 4 agents");
+}
+
+TEST(WeightedRoundRobinDeathTest, RejectsPriorityRequests)
+{
+    WeightedRoundRobinProtocol protocol;
+    ProtocolDriver driver(protocol, 4);
+    EXPECT_DEATH(driver.post(2, 0, true),
+                 "does not support priority-class requests");
+}
+
+} // namespace
+} // namespace busarb

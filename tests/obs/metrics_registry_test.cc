@@ -165,7 +165,8 @@ TEST(MetricsRegistry, WriteFilePicksFormatByExtension)
     std::ifstream csv(csv_path);
     std::string first_line;
     ASSERT_TRUE(std::getline(csv, first_line));
-    EXPECT_EQ(first_line, "name,kind,count,sum,min,max,p50,p90,p99");
+    EXPECT_EQ(first_line,
+              "name,kind,count,sum,min,max,p50,p90,p99,value");
 
     std::ifstream json(json_path);
     char ch = 0;

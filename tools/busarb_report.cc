@@ -12,16 +12,24 @@
  *   busarb_report --protocol rr1 --agents 10 --load 2.0 --out run.html
  *   busarb_report --protocol fcfs1 --agents 30 --load 7.5 \
  *                 --format md --out run.md
+ *   busarb_report --scenario examples/scenarios/wrr_asymmetric.scenario \
+ *                 --out wrr.md
+ *
+ * The workload comes from the same declarative scenario seam as
+ * busarb_sim (experiment/scenario_spec.hh); the canonical spec text is
+ * embedded in the report, so any report can be replayed.
  */
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "experiment/cli.hh"
-#include "experiment/protocols.hh"
+#include "experiment/protocol_registry.hh"
 #include "experiment/run_report.hh"
 #include "experiment/runner.hh"
+#include "experiment/scenario_spec.hh"
 #include "workload/scenario.hh"
 
 using namespace busarb;
@@ -34,22 +42,7 @@ main(int argc, char **argv)
                      "HTML) for one scenario run");
     parser.addStringFlag("protocol", "rr1",
                          "protocol spec (same grammar as busarb_sim)");
-    parser.addIntFlag("agents", 10, "number of agents (1..N)");
-    parser.addDoubleFlag("load", 2.0, "total offered load");
-    parser.addDoubleFlag("cv", 1.0,
-                         "inter-request coefficient of variation");
-    parser.addBoolFlag("worst-case", false,
-                       "use the Table 4.5 just-miss workload instead of "
-                       "equal loads");
-    parser.addDoubleFlag("unequal-factor", 0.0,
-                         "agent 1's load multiplier (Table 4.4); 0 "
-                         "disables");
-    parser.addIntFlag("batches", 10, "measurement batches");
-    parser.addIntFlag("batch-size", 8000, "completions per batch");
-    parser.addIntFlag("warmup", 8000, "warm-up completions discarded");
-    parser.addIntFlag("seed", 0x5eedcafe, "random seed");
-    parser.addDoubleFlag("arb-overhead", 0.5,
-                         "arbitration overhead, transaction times");
+    addScenarioFlags(parser);
     parser.addDoubleFlag("snapshot-every", 0.0,
                          "also embed fairness snapshots at this "
                          "simulated-time interval (0 disables)");
@@ -87,25 +80,31 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const int n = static_cast<int>(parser.getInt("agents"));
-    const double load = parser.getDouble("load");
-    const double cv = parser.getDouble("cv");
-    const double factor = parser.getDouble("unequal-factor");
-
-    ScenarioConfig config;
-    if (parser.getBool("worst-case")) {
-        config = worstCaseRrScenario(n, cv);
-    } else if (factor > 0.0) {
-        config = unequalLoadScenario(n, load / n, factor, cv);
-    } else {
-        config = equalLoadScenario(n, load, cv);
+    const ScenarioSpec spec =
+        scenarioSpecFromFlags("busarb_report", parser);
+    if (spec.loadTokens.size() > 1) {
+        std::cerr << "busarb_report: scenario sweeps "
+                  << spec.loadTokens.size()
+                  << " loads; a report covers one run\n";
+        return 2;
     }
-    config.numBatches = static_cast<int>(parser.getInt("batches"));
-    config.batchSize =
-        static_cast<std::uint64_t>(parser.getInt("batch-size"));
-    config.warmup = static_cast<std::uint64_t>(parser.getInt("warmup"));
-    config.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
-    config.bus.arbitrationOverhead = parser.getDouble("arb-overhead");
+    std::vector<std::string> protocol_specs = spec.protocolSpecs;
+    if (!protocol_specs.empty() && parser.wasSet("protocol")) {
+        std::cerr << "busarb_report: --protocol conflicts with the "
+                     "scenario file's [protocol]/[sweep] entries\n";
+        return 2;
+    }
+    if (protocol_specs.empty())
+        protocol_specs.push_back(parser.getString("protocol"));
+    if (protocol_specs.size() > 1) {
+        std::cerr << "busarb_report: scenario names "
+                  << protocol_specs.size()
+                  << " protocols; a report covers one run\n";
+        return 2;
+    }
+
+    ScenarioConfig config = spec.configForLoad(
+        spec.loadTokens.empty() ? "" : spec.loadTokens.front());
 
     // A report is the run's full observability surface: health verdict,
     // snapshots, fairness audit, and (unless suppressed) the trace the
@@ -116,11 +115,13 @@ main(int argc, char **argv)
     config.snapshotEveryUnits = parser.getDouble("snapshot-every");
     config.captureBinaryTrace = !parser.getBool("no-trace");
 
-    const ScenarioResult result =
-        runScenario(config, protocolFromSpec(parser.getString("protocol")));
+    const ScenarioResult result = runScenario(
+        config,
+        protocolFactoryOrExit("busarb_report", protocol_specs.front()));
 
     if (out_path == "-") {
-        writeRunReport(config, result, format, std::cout);
+        writeRunReport(config, result, format, std::cout,
+                       spec.format());
         return 0;
     }
     std::ofstream out(out_path, std::ios::binary);
@@ -128,7 +129,7 @@ main(int argc, char **argv)
         std::cerr << "cannot write " << out_path << "\n";
         return 1;
     }
-    writeRunReport(config, result, format, out);
+    writeRunReport(config, result, format, out, spec.format());
     if (!out) {
         std::cerr << "error writing " << out_path << "\n";
         return 1;

@@ -14,6 +14,13 @@
  *   busarb_sim --protocol rr1 --worst-case --agents 10 --cv 0
  *   busarb_sim --protocol rr1 --agents 8 --load 2.0 --trace-out run.trace \
  *              --metrics-out run-metrics.csv
+ *   busarb_sim --scenario examples/scenarios/wrr_asymmetric.scenario
+ *   busarb_sim --list-protocols
+ *
+ * Protocol specs are resolved by the protocol registry
+ * (experiment/protocol_registry.hh); workloads come from declarative
+ * scenario specs (experiment/scenario_spec.hh), built either from a
+ * --scenario file or from the individual flags.
  */
 
 #include <algorithm>
@@ -30,9 +37,10 @@
 #include "obs/metrics_registry.hh"
 #include "experiment/job_pool.hh"
 #include "experiment/csv.hh"
-#include "experiment/protocols.hh"
+#include "experiment/protocol_registry.hh"
 #include "experiment/report.hh"
 #include "experiment/runner.hh"
+#include "experiment/scenario_spec.hh"
 #include "experiment/table.hh"
 #include "workload/scenario.hh"
 
@@ -45,37 +53,17 @@ main(int argc, char **argv)
                      "simulate multiprocessor bus arbitration protocols "
                      "(Vernon & Manber, ISCA 1988)");
     parser.addStringFlag("protocol", "rr1",
-                         "protocol spec: rr1 rr2 rr3 fcfs1 fcfs2 hybrid "
-                         "fixed aap1 aap2 central-rr central-fcfs "
-                         "ticket, with options like "
-                         "fcfs2:window=0.05,bits=3,wrap or "
-                         "rr1:priority");
+                         "protocol spec (see --list-protocols), e.g. "
+                         "rr:impl=3, "
+                         "fcfs:strategy=increment_on_lose,counter_bits=8,"
+                         " fcfs2:window=0.05,bits=3,wrap, rr1:priority, "
+                         "or wrr:weights=4/1/1/1");
     parser.addStringFlag("compare", "",
                          "second protocol to run on the same workload");
-    parser.addIntFlag("agents", 10, "number of agents (1..N)");
-    parser.addDoubleFlag("load", 2.0, "total offered load");
-    parser.addDoubleFlag("cv", 1.0,
-                         "inter-request coefficient of variation");
-    parser.addBoolFlag("worst-case", false,
-                       "use the Table 4.5 just-miss workload instead of "
-                       "equal loads");
-    parser.addDoubleFlag("unequal-factor", 0.0,
-                         "agent 1's load multiplier (Table 4.4); 0 "
-                         "disables");
-    parser.addIntFlag("batches", 10, "measurement batches");
-    parser.addIntFlag("batch-size", 8000, "completions per batch");
-    parser.addIntFlag("warmup", 8000, "warm-up completions discarded");
-    parser.addIntFlag("seed", 0x5eedcafe, "random seed");
-    parser.addDoubleFlag("arb-overhead", 0.5,
-                         "arbitration overhead, transaction times");
-    parser.addBoolFlag("settle-timing", false,
-                       "derive pass durations from the bit-level "
-                       "contention model");
-    parser.addBoolFlag("worst-case-settle", false,
-                       "budget ceil(k/2) propagations per pass "
-                       "(synchronous bus)");
-    parser.addIntFlag("max-outstanding", 1,
-                      "outstanding requests per agent (FCFS r > 1)");
+    parser.addBoolFlag("list-protocols", false,
+                       "print the protocol catalogue (keys, parameters, "
+                       "defaults, paper sections) and exit");
+    addScenarioFlags(parser);
     parser.addStringFlag("batches-csv", "",
                          "write per-batch measurements to this file");
     parser.addStringFlag("histogram-csv", "",
@@ -131,34 +119,44 @@ main(int argc, char **argv)
                       "at any job count");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
-
-    const int n = static_cast<int>(parser.getInt("agents"));
-    const double load = parser.getDouble("load");
-    const double cv = parser.getDouble("cv");
-    const double factor = parser.getDouble("unequal-factor");
-
-    ScenarioConfig config;
-    if (parser.getBool("worst-case")) {
-        config = worstCaseRrScenario(n, cv);
-    } else if (factor > 0.0) {
-        config = unequalLoadScenario(n, load / n, factor, cv);
-    } else {
-        config = equalLoadScenario(n, load, cv);
+    if (parser.getBool("list-protocols")) {
+        ProtocolRegistry::builtin().printTable(std::cout);
+        return 0;
     }
-    config.numBatches = static_cast<int>(parser.getInt("batches"));
-    config.batchSize =
-        static_cast<std::uint64_t>(parser.getInt("batch-size"));
-    config.warmup = static_cast<std::uint64_t>(parser.getInt("warmup"));
-    config.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
-    config.bus.arbitrationOverhead = parser.getDouble("arb-overhead");
-    config.bus.settleTiming = parser.getBool("settle-timing") ||
-                              parser.getBool("worst-case-settle");
-    if (parser.getBool("worst-case-settle"))
-        config.bus.settleMode = BusParams::SettleMode::kWorstCase;
-    for (auto &traits : config.agents) {
-        traits.maxOutstanding =
-            static_cast<int>(parser.getInt("max-outstanding"));
+
+    const ScenarioSpec spec = scenarioSpecFromFlags("busarb_sim", parser);
+    if (spec.loadTokens.size() > 1) {
+        std::cerr << "busarb_sim: scenario sweeps " << spec.loadTokens.size()
+                  << " loads; busarb_sim runs one (use busarb_sweep "
+                     "--grid for grids)\n";
+        return 2;
     }
+
+    // One or two protocol specs: from the scenario file when it names
+    // any, otherwise from --protocol/--compare. Mixing the two sources
+    // would leave the file no longer describing the run.
+    std::vector<std::string> protocol_specs = spec.protocolSpecs;
+    if (!protocol_specs.empty() &&
+        (parser.wasSet("protocol") || parser.wasSet("compare"))) {
+        std::cerr << "busarb_sim: --protocol/--compare conflict with "
+                     "the scenario file's [protocol]/[sweep] entries\n";
+        return 2;
+    }
+    if (protocol_specs.empty()) {
+        protocol_specs.push_back(parser.getString("protocol"));
+        if (!parser.getString("compare").empty())
+            protocol_specs.push_back(parser.getString("compare"));
+    }
+    if (protocol_specs.size() > 2) {
+        std::cerr << "busarb_sim: scenario names "
+                  << protocol_specs.size()
+                  << " protocols; busarb_sim runs at most two (use "
+                     "busarb_sweep --grid for grids)\n";
+        return 2;
+    }
+
+    ScenarioConfig config = spec.configForLoad(
+        spec.loadTokens.empty() ? "" : spec.loadTokens.front());
     config.collectHistogram = !parser.getString("histogram-csv").empty();
     config.captureBinaryTrace = !parser.getString("trace-out").empty();
     config.flightRecorderEvents = static_cast<std::size_t>(
@@ -193,6 +191,20 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (protocol_specs.size() == 2 &&
+        protocol_specs[0] == protocol_specs[1]) {
+        // Identical specs would collide under the protocol-name
+        // metric prefix (and tell the reader nothing anyway).
+        std::cerr << "busarb_sim: comparison runs need two different "
+                     "protocol specs, got '"
+                  << protocol_specs[0] << "' twice\n";
+        return 2;
+    }
+    // Resolve specs before any output so usage errors stay clean.
+    std::vector<ProtocolFactory> factories;
+    for (const auto &text : protocol_specs)
+        factories.push_back(protocolFactoryOrExit("busarb_sim", text));
+
     const auto trace_events = parser.getInt("trace-events");
     std::unique_ptr<TextTracer> tracer;
     if (trace_events > 0) {
@@ -206,20 +218,8 @@ main(int argc, char **argv)
     std::cout << "busarb_sim: " << describeScenario(config) << "\n\n";
 
     std::vector<GridJob> grid;
-    grid.push_back(
-        {config, protocolFromSpec(parser.getString("protocol"))});
-    if (!parser.getString("compare").empty()) {
-        if (parser.getString("compare") ==
-            parser.getString("protocol")) {
-            // Identical specs would collide under the protocol-name
-            // metric prefix (and tell the reader nothing anyway).
-            std::cerr << "busarb_sim: --compare must name a protocol "
-                         "different from --protocol\n";
-            return 2;
-        }
-        grid.push_back(
-            {config, protocolFromSpec(parser.getString("compare"))});
-    }
+    for (std::size_t i = 0; i < protocol_specs.size(); ++i)
+        grid.push_back({config, factories[i], protocol_specs[i]});
 
     // A tracer writes to a shared stream while the simulation runs, so
     // traced runs must stay serial; plain runs fan out.
@@ -368,6 +368,9 @@ main(int argc, char **argv)
         MetricsRegistry merged;
         for (const auto &r : results)
             merged.mergeFrom(r.metrics, r.protocolName + ".");
+        // Canonical provenance: the same annotation text whether the
+        // run came from flags or from a scenario file.
+        merged.setAnnotation("scenario.spec", spec.format());
         if (!merged.writeFile(parser.getString("metrics-out"))) {
             std::cerr << "cannot write "
                       << parser.getString("metrics-out") << "\n";

@@ -10,6 +10,13 @@
  *
  *   busarb_sweep --protocols rr1,fcfs1,aap1 --agents 30 \
  *                --loads 0.25,0.5,1,1.5,2,2.5,5,7.5 --jobs 4 --csv out.csv
+ *   busarb_sweep --grid examples/scenarios/table41.grid --csv out.csv
+ *
+ * A --grid scenario file (experiment/scenario_spec.hh) declares the
+ * same sweep declaratively — including protocol specs with options,
+ * which the comma-separated --protocols flag cannot express — and
+ * expands through the same cell-assembly path, so a grid file
+ * reproduces a flag invocation byte for byte.
  */
 
 #include <chrono>
@@ -24,8 +31,9 @@
 #include "obs/metrics_registry.hh"
 #include "experiment/csv.hh"
 #include "experiment/job_pool.hh"
-#include "experiment/protocols.hh"
+#include "experiment/protocol_registry.hh"
 #include "experiment/runner.hh"
+#include "experiment/scenario_spec.hh"
 #include "experiment/table.hh"
 #include "workload/scenario.hh"
 
@@ -53,12 +61,19 @@ main(int argc, char **argv)
 
     ArgParser parser("busarb_sweep",
                      "sweep arbitration protocols across offered loads");
+    parser.addStringFlag("grid", "",
+                         "read the whole sweep (workload, run controls, "
+                         "loads, protocol specs) from this scenario "
+                         "file; conflicts with the axis flags");
     parser.addStringFlag("protocols", "rr1,fcfs1",
                          "comma-separated protocol keys (note: specs "
                          "with options are not usable here because of "
-                         "the comma separator; use busarb_sim)");
+                         "the comma separator; use --grid)");
     parser.addStringFlag("loads", "0.25,0.5,1,1.5,2,2.5,5,7.5",
                          "comma-separated total offered loads");
+    parser.addBoolFlag("list-protocols", false,
+                       "print the protocol catalogue (keys, parameters, "
+                       "defaults, paper sections) and exit");
     parser.addIntFlag("agents", 10, "number of agents");
     parser.addDoubleFlag("cv", 1.0,
                          "inter-request coefficient of variation");
@@ -106,6 +121,10 @@ main(int argc, char **argv)
                        "artifact stay byte-identical)");
     if (!parser.parse(argc, argv))
         return parser.exitCode();
+    if (parser.getBool("list-protocols")) {
+        ProtocolRegistry::builtin().printTable(std::cout);
+        return 0;
+    }
 
     if (parser.getBool("fairness") &&
         parser.getDouble("fairness-window") <= 0.0) {
@@ -113,9 +132,42 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const int n = static_cast<int>(parser.getInt("agents"));
-    const auto protocol_keys = splitCsvList(parser.getString("protocols"));
-    const auto load_tokens = splitCsvList(parser.getString("loads"));
+    // Both axes plus the workload come from one ScenarioSpec, built
+    // either from a --grid file or from the flags; cell assembly below
+    // is shared, so the two inputs produce identical artifacts.
+    ScenarioSpec spec;
+    if (!parser.getString("grid").empty()) {
+        static const char *const kOwned[] = {"protocols", "loads",
+                                             "agents", "cv", "batches",
+                                             "batch-size"};
+        for (const char *flag : kOwned) {
+            if (parser.wasSet(flag)) {
+                std::cerr << "busarb_sweep: --" << flag
+                          << " conflicts with --grid (the file is the "
+                             "single source of truth)\n";
+                return 2;
+            }
+        }
+        spec = scenarioSpecOrExit("busarb_sweep",
+                                  parser.getString("grid"));
+    } else {
+        spec.family = "equal";
+        spec.agents = static_cast<int>(parser.getInt("agents"));
+        spec.cv = parser.getDouble("cv");
+        spec.batches = static_cast<int>(parser.getInt("batches"));
+        spec.batchSize = parser.getInt("batch-size");
+        spec.loadTokens = splitCsvList(parser.getString("loads"));
+        spec.protocolSpecs = splitCsvList(parser.getString("protocols"));
+    }
+    if (spec.family == "worst-case") {
+        std::cerr << "busarb_sweep: family 'worst-case' has no load "
+                     "axis; run it with busarb_sim\n";
+        return 2;
+    }
+
+    const int n = spec.agents;
+    const auto &protocol_keys = spec.protocolSpecs;
+    const auto &load_tokens = spec.loadTokens;
     if (protocol_keys.empty() || load_tokens.empty()) {
         std::cerr << "need at least one protocol and one load\n";
         return 2;
@@ -158,14 +210,8 @@ main(int argc, char **argv)
     std::vector<GridJob> grid;
     grid.reserve(load_tokens.size() * protocol_keys.size());
     for (const auto &token : load_tokens) {
-        const double load =
-            parseDoubleTokenOrExit("busarb_sweep", "loads", token);
-        ScenarioConfig config =
-            equalLoadScenario(n, load, parser.getDouble("cv"));
-        config.numBatches = static_cast<int>(parser.getInt("batches"));
-        config.batchSize =
-            static_cast<std::uint64_t>(parser.getInt("batch-size"));
-        config.warmup = config.batchSize;
+        parseDoubleTokenOrExit("busarb_sweep", "loads", token);
+        ScenarioConfig config = spec.configForLoad(token);
         config.captureBinaryTrace =
             !parser.getString("trace-out").empty();
         config.auditFairness = parser.getBool("fairness");
@@ -176,7 +222,9 @@ main(int argc, char **argv)
         config.healthRelHwTarget = parser.getDouble("health-rel-hw");
         config.healthLag1Threshold = parser.getDouble("health-lag1");
         for (const auto &key : protocol_keys)
-            grid.push_back({config, protocolFromSpec(key)});
+            grid.push_back({config,
+                            protocolFactoryOrExit("busarb_sweep", key),
+                            key});
     }
 
     const int jobs =
@@ -285,6 +333,9 @@ main(int argc, char **argv)
                                  "load=" + token + "." + key + ".");
             }
         }
+        // Canonical provenance: identical text for --grid and for the
+        // equivalent flag invocation.
+        merged.setAnnotation("scenario.spec", spec.format());
         if (!merged.writeFile(parser.getString("metrics-out"))) {
             std::cerr << "cannot write "
                       << parser.getString("metrics-out") << "\n";
