@@ -1,6 +1,7 @@
 #include "bus/async_contention.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <queue>
 
@@ -21,9 +22,7 @@ reactionWord(std::uint64_t identity, std::uint64_t others)
     const std::uint64_t conflicts = others & ~identity;
     if (conflicts == 0)
         return identity;
-    int top = 63;
-    while (((conflicts >> top) & 1ULL) == 0)
-        --top;
+    const int top = 63 - std::countl_zero(conflicts);
     const std::uint64_t keep_mask = ~((2ULL << top) - 1ULL);
     return identity & keep_mask;
 }

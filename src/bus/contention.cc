@@ -1,5 +1,7 @@
 #include "bus/contention.hh"
 
+#include <bit>
+
 #include "sim/logging.hh"
 
 namespace busarb {
@@ -24,9 +26,7 @@ ContentionArbiter::appliedWord(std::uint64_t identity,
     if (conflicts == 0)
         return identity; // nothing removed (or everything re-applied)
     // Highest conflicting line index.
-    int top = 63;
-    while (((conflicts >> top) & 1ULL) == 0)
-        --top;
+    const int top = 63 - std::countl_zero(conflicts);
     // Keep bits strictly above the conflict.
     const std::uint64_t keep_mask = ~((2ULL << top) - 1ULL);
     return identity & keep_mask;
@@ -48,8 +48,10 @@ ContentionArbiter::settle(const std::vector<Competitor> &competitors) const
                       "agent ", c.agent, " applied the reserved word 0");
     }
 
-    // Every agent initially applies its full word.
-    std::vector<std::uint64_t> applied(competitors.size());
+    // Every agent initially applies its full word. The scratch vector is
+    // a member so steady-state arbitration passes allocate nothing.
+    std::vector<std::uint64_t> &applied = appliedScratch_;
+    applied.resize(competitors.size());
     for (std::size_t i = 0; i < competitors.size(); ++i)
         applied[i] = competitors[i].word;
 

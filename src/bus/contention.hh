@@ -86,6 +86,10 @@ class ContentionArbiter
   private:
     int numLines_;
 
+    // Per-competitor applied words, reused across settle() calls so the
+    // hot arbitration path performs no per-pass allocation.
+    mutable std::vector<std::uint64_t> appliedScratch_;
+
     /** @return The word agent applies when the lines carry `lines`. */
     std::uint64_t appliedWord(std::uint64_t identity,
                               std::uint64_t lines) const;

@@ -1,24 +1,34 @@
 #include "bus/wired_or.hh"
 
-#include "sim/logging.hh"
+#include <algorithm>
 
 namespace busarb {
 
 WiredOrLine::WiredOrLine(int num_agents)
-    : driving_(static_cast<std::size_t>(num_agents) + 1, false)
+    : words_((static_cast<std::size_t>(num_agents) + 1 + 63) / 64, 0),
+      numAgents_(num_agents)
 {
     BUSARB_ASSERT(num_agents >= 1, "need at least one agent, got ",
                   num_agents);
 }
 
 void
+WiredOrLine::assertInRange(AgentId agent) const
+{
+    BUSARB_ASSERT(agent >= 1 && agent <= numAgents_,
+                  "agent id out of range: ", agent);
+}
+
+void
 WiredOrLine::assertLine(AgentId agent)
 {
-    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
-                  "agent id out of range: ", agent);
-    if (driving_[static_cast<std::size_t>(agent)])
+    assertInRange(agent);
+    const auto bit = static_cast<std::size_t>(agent);
+    std::uint64_t &word = words_[bit >> 6];
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    if ((word & mask) != 0)
         return;
-    driving_[static_cast<std::size_t>(agent)] = true;
+    word |= mask;
     if (numAsserting_ == 0)
         ++risingEdges_;
     ++numAsserting_;
@@ -27,27 +37,21 @@ WiredOrLine::assertLine(AgentId agent)
 void
 WiredOrLine::releaseLine(AgentId agent)
 {
-    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
-                  "agent id out of range: ", agent);
-    if (!driving_[static_cast<std::size_t>(agent)])
+    assertInRange(agent);
+    const auto bit = static_cast<std::size_t>(agent);
+    std::uint64_t &word = words_[bit >> 6];
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    if ((word & mask) == 0)
         return;
-    driving_[static_cast<std::size_t>(agent)] = false;
+    word &= ~mask;
     --numAsserting_;
     BUSARB_ASSERT(numAsserting_ >= 0, "assert count underflow");
-}
-
-bool
-WiredOrLine::isAsserting(AgentId agent) const
-{
-    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
-                  "agent id out of range: ", agent);
-    return driving_[static_cast<std::size_t>(agent)];
 }
 
 void
 WiredOrLine::clear()
 {
-    driving_.assign(driving_.size(), false);
+    std::fill(words_.begin(), words_.end(), 0);
     numAsserting_ = 0;
 }
 

@@ -10,10 +10,12 @@
 #ifndef BUSARB_BUS_WIRED_OR_HH
 #define BUSARB_BUS_WIRED_OR_HH
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace busarb {
@@ -21,6 +23,9 @@ namespace busarb {
 /**
  * A single wired-OR line shared by a fixed set of agents.
  *
+ * Driver state is packed into uint64 words (bit a of word w = agent
+ * w*64 + a driving), so a settle pass over 64 agents is a handful of
+ * word operations and popcounts instead of a bit-at-a-time walk.
  * Tracks each driver's contribution so the line value can be recomputed
  * exactly, and counts assert edges for protocol logic that reacts to
  * pulses (the FCFS a-incr line of Section 3.2).
@@ -43,7 +48,13 @@ class WiredOrLine
     bool read() const { return numAsserting_ > 0; }
 
     /** @return True iff `agent` is currently driving the line. */
-    bool isAsserting(AgentId agent) const;
+    bool
+    isAsserting(AgentId agent) const
+    {
+        assertInRange(agent);
+        const auto bit = static_cast<std::size_t>(agent);
+        return ((words_[bit >> 6] >> (bit & 63)) & 1ULL) != 0;
+    }
 
     /** @return Number of agents currently driving the line. */
     int numAsserting() const { return numAsserting_; }
@@ -55,10 +66,49 @@ class WiredOrLine
     void clear();
 
     /** @return Number of attached agents. */
-    int numAgents() const { return static_cast<int>(driving_.size()) - 1; }
+    int numAgents() const { return numAgents_; }
+
+    /** @return Number of 64-bit driver words (indexed by driverWord). */
+    std::size_t numWords() const { return words_.size(); }
+
+    /**
+     * Raw driver word: bit a is set iff agent w*64 + a is driving.
+     * (Agent ids start at 1, so bit 0 of word 0 is always clear.)
+     *
+     * @param w Word index, < numWords().
+     * @return The packed driver word.
+     */
+    std::uint64_t
+    driverWord(std::size_t w) const
+    {
+        BUSARB_ASSERT(w < words_.size(), "driver word out of range: ", w);
+        return words_[w];
+    }
+
+    /**
+     * Visit every driving agent in ascending id order.
+     *
+     * @param fn Callable invoked as fn(AgentId).
+     */
+    template <typename Fn>
+    void
+    forEachAsserting(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t bits = words_[w];
+            while (bits != 0) {
+                const int b = std::countr_zero(bits);
+                fn(static_cast<AgentId>(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
 
   private:
-    std::vector<bool> driving_; // indexed by AgentId, slot 0 unused
+    void assertInRange(AgentId agent) const;
+
+    std::vector<std::uint64_t> words_; // bit (agent & 63) of word agent/64
+    int numAgents_;
     int numAsserting_ = 0;
     std::uint64_t risingEdges_ = 0;
 };

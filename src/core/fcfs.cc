@@ -154,18 +154,24 @@ FcfsProtocol::wordFor(const PendingEntry &e) const
 }
 
 PendingEntry &
-FcfsProtocol::competingEntry(AgentId agent)
+FcfsProtocol::competingEntry(AgentId agent, std::uint64_t &word)
 {
-    PendingEntry *best = nullptr;
-    std::uint64_t best_word = 0;
+    // Closed workloads keep one outstanding request per agent, so the
+    // single-entry case is the hot path.
+    PendingEntry &front = pending_.oldest(agent);
+    word = wordFor(front);
+    if (pending_.numOfAgent(agent) == 1)
+        return front;
+    PendingEntry *best = &front;
+    std::uint64_t best_word = word;
     pending_.forEachOfAgent(agent, [&](PendingEntry &e) {
         const std::uint64_t w = wordFor(e);
-        if (best == nullptr || w > best_word) {
+        if (w > best_word) {
             best = &e;
             best_word = w;
         }
     });
-    BUSARB_ASSERT(best != nullptr, "no pending entry for agent ", agent);
+    word = best_word;
     return *best;
 }
 
@@ -179,10 +185,11 @@ FcfsProtocol::beginPass(Tick now)
     // Requests present now participate (or at least observe) this
     // arbitration; requests posted later do not.
     pending_.forEach([](PendingEntry &e) { e.inPass = true; });
-    for (AgentId a : pending_.agentsWithRequests()) {
-        PendingEntry &e = competingEntry(a);
-        frozen_.push_back(FrozenCompetitor{a, wordFor(e), e.req.seq});
-    }
+    pending_.forEachAgentWithRequests([&](AgentId a) {
+        std::uint64_t word = 0;
+        PendingEntry &e = competingEntry(a, word);
+        frozen_.push_back(FrozenCompetitor{a, word, e.req.seq});
+    });
 }
 
 PassResult

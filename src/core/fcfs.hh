@@ -191,8 +191,12 @@ class FcfsProtocol : public ArbitrationProtocol
     /** @return The full arbitration word for entry `e`. */
     std::uint64_t wordFor(const PendingEntry &e) const;
 
-    /** Entry an agent presents: its maximum-word pending request. */
-    PendingEntry &competingEntry(AgentId agent);
+    /**
+     * Entry an agent presents: its maximum-word pending request.
+     * Returns the word through `word` so the begin-pass loop computes
+     * it exactly once per competitor.
+     */
+    PendingEntry &competingEntry(AgentId agent, std::uint64_t &word);
 };
 
 } // namespace busarb

@@ -1,5 +1,7 @@
 #include "core/pending_requests.hh"
 
+#include <utility>
+
 #include "sim/logging.hh"
 
 namespace busarb {
@@ -8,8 +10,24 @@ void
 PendingRequests::reset(int num_agents)
 {
     BUSARB_ASSERT(num_agents >= 1, "need at least one agent");
-    queues_.assign(static_cast<std::size_t>(num_agents) + 1, {});
+    slot_.assign(static_cast<std::size_t>(num_agents) + 1, {});
+    overflow_.assign(slot_.size(), {});
+    mask_.assign((slot_.size() + 63) / 64, 0);
     total_ = 0;
+}
+
+void
+PendingRequests::setBit(AgentId agent)
+{
+    const auto bit = static_cast<std::size_t>(agent);
+    mask_[bit >> 6] |= 1ULL << (bit & 63);
+}
+
+void
+PendingRequests::clearBit(AgentId agent)
+{
+    const auto bit = static_cast<std::size_t>(agent);
+    mask_[bit >> 6] &= ~(1ULL << (bit & 63));
 }
 
 PendingEntry &
@@ -17,18 +35,15 @@ PendingRequests::add(const Request &req)
 {
     BUSARB_ASSERT(req.agent >= 1 && req.agent <= numAgents(),
                   "agent id out of range: ", req.agent);
-    auto &dq = queues_[static_cast<std::size_t>(req.agent)];
-    dq.push_back(PendingEntry{req, 0, 0, false});
+    const auto a = static_cast<std::size_t>(req.agent);
     ++total_;
-    return dq.back();
-}
-
-bool
-PendingRequests::hasAgent(AgentId agent) const
-{
-    BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
-                  "agent id out of range: ", agent);
-    return !queues_[static_cast<std::size_t>(agent)].empty();
+    if (!hasAgent(req.agent)) {
+        slot_[a] = PendingEntry{req, 0, 0, false};
+        setBit(req.agent);
+        return slot_[a];
+    }
+    overflow_[a].push_back(PendingEntry{req, 0, 0, false});
+    return overflow_[a].back();
 }
 
 PendingEntry &
@@ -36,26 +51,23 @@ PendingRequests::oldest(AgentId agent)
 {
     BUSARB_ASSERT(hasAgent(agent), "agent ", agent,
                   " has no pending request");
-    return queues_[static_cast<std::size_t>(agent)].front();
+    return slot_[static_cast<std::size_t>(agent)];
 }
 
 const PendingEntry &
 PendingRequests::oldest(AgentId agent) const
 {
-    BUSARB_ASSERT(agent >= 1 && agent <= numAgents() &&
-                  !queues_[static_cast<std::size_t>(agent)].empty(),
-                  "agent ", agent, " has no pending request");
-    return queues_[static_cast<std::size_t>(agent)].front();
+    BUSARB_ASSERT(hasAgent(agent), "agent ", agent,
+                  " has no pending request");
+    return slot_[static_cast<std::size_t>(agent)];
 }
 
 std::vector<AgentId>
 PendingRequests::agentsWithRequests() const
 {
     std::vector<AgentId> result;
-    for (std::size_t id = 1; id < queues_.size(); ++id) {
-        if (!queues_[id].empty())
-            result.push_back(static_cast<AgentId>(id));
-    }
+    forEachAgentWithRequests(
+        [&result](AgentId agent) { result.push_back(agent); });
     return result;
 }
 
@@ -64,7 +76,12 @@ PendingRequests::findBySeq(AgentId agent, std::uint64_t seq)
 {
     BUSARB_ASSERT(agent >= 1 && agent <= numAgents(),
                   "agent id out of range: ", agent);
-    for (auto &entry : queues_[static_cast<std::size_t>(agent)]) {
+    if (!hasAgent(agent))
+        return nullptr;
+    const auto a = static_cast<std::size_t>(agent);
+    if (slot_[a].req.seq == seq)
+        return &slot_[a];
+    for (auto &entry : overflow_[a]) {
         if (entry.req.seq == seq)
             return &entry;
     }
@@ -74,7 +91,12 @@ PendingRequests::findBySeq(AgentId agent, std::uint64_t seq)
 Request
 PendingRequests::popBySeq(AgentId agent, std::uint64_t seq)
 {
-    auto &dq = queues_[static_cast<std::size_t>(agent)];
+    const auto a = static_cast<std::size_t>(agent);
+    BUSARB_ASSERT(hasAgent(agent), "agent ", agent,
+                  " has no pending request");
+    if (slot_[a].req.seq == seq)
+        return popOldest(agent);
+    auto &dq = overflow_[a];
     for (auto it = dq.begin(); it != dq.end(); ++it) {
         if (it->req.seq == seq) {
             const Request req = it->req;
@@ -90,10 +112,17 @@ PendingRequests::popBySeq(AgentId agent, std::uint64_t seq)
 Request
 PendingRequests::popOldest(AgentId agent)
 {
-    auto &dq = queues_[static_cast<std::size_t>(agent)];
-    BUSARB_ASSERT(!dq.empty(), "agent ", agent, " has no pending request");
-    const Request req = dq.front().req;
-    dq.pop_front();
+    BUSARB_ASSERT(hasAgent(agent), "agent ", agent,
+                  " has no pending request");
+    const auto a = static_cast<std::size_t>(agent);
+    const Request req = slot_[a].req;
+    auto &dq = overflow_[a];
+    if (dq.empty()) {
+        clearBit(agent);
+    } else {
+        slot_[a] = std::move(dq.front());
+        dq.pop_front();
+    }
     BUSARB_ASSERT(total_ > 0, "pending count underflow");
     --total_;
     return req;

@@ -89,21 +89,27 @@ RoundRobinProtocol::wordFor(const PendingEntry &e) const
 }
 
 PendingEntry &
-RoundRobinProtocol::competingEntry(AgentId agent)
+RoundRobinProtocol::competingEntry(AgentId agent, std::uint64_t &word)
 {
     // The request an agent presents is the one with the largest
     // arbitration word (priority requests dominate; otherwise requests of
-    // one agent share the same word, so the oldest is presented).
-    PendingEntry *best = nullptr;
-    std::uint64_t best_word = 0;
+    // one agent share the same word, so the oldest is presented). Closed
+    // workloads keep one outstanding request per agent, so the
+    // single-entry case is the hot path.
+    PendingEntry &front = pending_.oldest(agent);
+    word = wordFor(front);
+    if (pending_.numOfAgent(agent) == 1)
+        return front;
+    PendingEntry *best = &front;
+    std::uint64_t best_word = word;
     pending_.forEachOfAgent(agent, [&](PendingEntry &e) {
         const std::uint64_t w = wordFor(e);
-        if (best == nullptr || w > best_word) {
+        if (w > best_word) {
             best = &e;
             best_word = w;
         }
     });
-    BUSARB_ASSERT(best != nullptr, "no pending entry for agent ", agent);
+    word = best_word;
     return *best;
 }
 
@@ -117,33 +123,27 @@ RoundRobinProtocol::beginPass(Tick now)
 
     // Which agents enter this arbitration?
     const bool gate_low = config_.impl != RrImplementation::kPriorityBit;
-    bool any_low = false;
-    if (gate_low) {
-        for (AgentId a : pending_.agentsWithRequests()) {
-            if (a < recordedWinner_) {
-                any_low = true;
-                break;
-            }
-        }
-    }
+    const bool any_low =
+        gate_low && pending_.hasAgentBelow(recordedWinner_);
 
-    for (AgentId a : pending_.agentsWithRequests()) {
+    pending_.forEachAgentWithRequests([&](AgentId a) {
         if (gate_low) {
             const bool is_low = a < recordedWinner_;
             if (config_.impl == RrImplementation::kLowRequestLine) {
                 // Low-request line asserted: only low agents compete.
                 if (any_low && !is_low)
-                    continue;
+                    return;
             } else { // kNoExtraLine
                 // Only low agents ever compete; an empty arbitration
                 // resets the recorded winner (handled in completePass).
                 if (!is_low)
-                    continue;
+                    return;
             }
         }
-        const PendingEntry &e = competingEntry(a);
-        frozen_.push_back(FrozenCompetitor{a, wordFor(e), e.req.seq});
-    }
+        std::uint64_t word = 0;
+        const PendingEntry &e = competingEntry(a, word);
+        frozen_.push_back(FrozenCompetitor{a, word, e.req.seq});
+    });
 }
 
 PassResult

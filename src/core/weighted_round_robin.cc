@@ -78,19 +78,12 @@ WeightedRoundRobinProtocol::beginPass(Tick now)
     BUSARB_ASSERT(!passOpen_, "beginPass with a pass already open");
     passOpen_ = true;
     frozen_.clear();
-    for (AgentId a : pending_.agentsWithRequests()) {
+    pending_.forEachAgentWithRequests([&](AgentId a) {
         // All of one agent's requests share a word, so the oldest is
         // presented (PendingRequests keeps arrival order).
-        const PendingEntry *oldest = nullptr;
-        pending_.forEachOfAgent(a, [&](PendingEntry &e) {
-            if (oldest == nullptr)
-                oldest = &e;
-        });
-        BUSARB_ASSERT(oldest != nullptr, "no pending entry for agent ",
-                      a);
         frozen_.push_back(
-            FrozenCompetitor{a, wordFor(a), oldest->req.seq});
-    }
+            FrozenCompetitor{a, wordFor(a), pending_.oldest(a).req.seq});
+    });
 }
 
 PassResult

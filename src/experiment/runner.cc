@@ -154,7 +154,12 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     BUSARB_ASSERT(config.numBatches >= 1, "need at least one batch");
     BUSARB_ASSERT(config.batchSize >= 1, "batch size must be >= 1");
 
-    EventQueue queue;
+    // Seed the calendar geometry from the scenario's expected live depth:
+    // every agent keeps about one event in flight, plus a handful of bus
+    // bookkeeping events.
+    EventQueue queue(config.eventQueuePolicy,
+                     CalendarTuning::forExpectedDepth(
+                         static_cast<std::size_t>(config.numAgents) + 4));
     std::unique_ptr<ArbitrationProtocol> protocol = factory();
     BUSARB_ASSERT(protocol != nullptr, "protocol factory returned null");
     const std::string protocol_name = protocol->name();

@@ -440,6 +440,29 @@ addScenarioFlags(ArgParser &parser)
                        "(synchronous bus)");
 }
 
+void
+addQueueFlag(ArgParser &parser)
+{
+    parser.addStringFlag("queue", "calendar",
+                         "event-queue storage policy: calendar (the "
+                         "fast default) or heap (the reference "
+                         "implementation); results are bit-identical "
+                         "either way");
+}
+
+EventQueuePolicy
+queuePolicyOrExit(const std::string &program, const ArgParser &parser)
+{
+    const std::string token = parser.getString("queue");
+    if (token == "calendar")
+        return EventQueuePolicy::kCalendar;
+    if (token == "heap")
+        return EventQueuePolicy::kHeap;
+    std::cerr << program << ": --queue must be 'calendar' or 'heap', "
+              << "got '" << token << "'\n";
+    std::exit(2);
+}
+
 ScenarioSpec
 scenarioSpecFromFlags(const std::string &program,
                       const ArgParser &parser)

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callback storage for event-queue
+ * entries.
+ *
+ * std::function is the wrong shape for a discrete-event hot path: it is
+ * copyable (so popping an entry through std::priority_queue copies the
+ * callable), and callables larger than its small internal buffer go to
+ * the general-purpose heap once per scheduled event. EventCallback is
+ * move-only — popping an event *moves* the callable out of the queue —
+ * and carries a 24-byte inline buffer that fits every callback the
+ * simulator schedules (lambdas capturing a handful of pointers), so the
+ * steady-state event loop performs no callback allocation at all. The
+ * size is deliberate: ops pointer + buffer is 32 bytes, which lands a
+ * calendar-queue event node on exactly one 64-byte cache line.
+ *
+ * Callables that do exceed the buffer fall back to the heap; the
+ * fall-back count is exposed via heapAllocations() so the micro
+ * benchmarks can pin "zero per-pop allocations" as a regression check.
+ * The counter is thread-local: each JobPool worker observes only its
+ * own runs, keeping the probe race-free and deterministic per run.
+ */
+
+#ifndef BUSARB_SIM_EVENT_CALLBACK_HH
+#define BUSARB_SIM_EVENT_CALLBACK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace busarb {
+
+class EventCallback
+{
+  public:
+    /** Inline storage size; larger callables fall back to the heap. */
+    static constexpr std::size_t kInlineBytes = 24;
+
+    EventCallback() = default;
+    EventCallback(std::nullptr_t) {}
+
+    /** Wrap any nullary callable. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    /**
+     * Construct a callable directly in this storage, replacing any
+     * stored one. Lets the event queue build the callback in its node
+     * instead of moving it through temporaries.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    void
+    emplace(F &&fn)
+    {
+        reset();
+        using D = std::decay_t<F>;
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(fn));
+            ops_ = &kInlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(fn));
+            ++heapAllocs();
+            ops_ = &kHeapOps<D>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** @return True iff a callable is stored. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable (must be non-empty). */
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    /**
+     * Number of heap fall-back allocations made by this thread's
+     * EventCallback constructions (callables larger than kInlineBytes).
+     * Thread-local, so per-run observations are race-free.
+     *
+     * @return Cumulative fall-back allocation count for this thread.
+     */
+    static std::uint64_t
+    heapAllocations()
+    {
+        return heapAllocs();
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct the payload into `dst`, destroying `src`. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+        /** Relocation is a plain buffer copy (trivially copyable
+         *  payload, or the heap model's raw pointer): moves take the
+         *  inline memcpy path instead of an indirect call. */
+        bool trivialRelocate;
+        /** Destruction is a no-op; reset() skips the indirect call. */
+        bool trivialDestroy;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineBytes &&
+               alignof(D) <= alignof(void *) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    struct InlineModel
+    {
+        static void
+        invoke(void *self)
+        {
+            (*std::launder(reinterpret_cast<D *>(self)))();
+        }
+
+        static void
+        relocate(void *dst, void *src)
+        {
+            D *s = std::launder(reinterpret_cast<D *>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+        }
+
+        static void
+        destroy(void *self)
+        {
+            std::launder(reinterpret_cast<D *>(self))->~D();
+        }
+    };
+
+    template <typename D>
+    struct HeapModel
+    {
+        static D *&
+        slot(void *self)
+        {
+            return *reinterpret_cast<D **>(self);
+        }
+
+        static void
+        invoke(void *self)
+        {
+            (*slot(self))();
+        }
+
+        static void
+        relocate(void *dst, void *src)
+        {
+            *reinterpret_cast<D **>(dst) = slot(src);
+        }
+
+        static void
+        destroy(void *self)
+        {
+            delete slot(self);
+        }
+    };
+
+    template <typename D>
+    static constexpr Ops kInlineOps{&InlineModel<D>::invoke,
+                                    &InlineModel<D>::relocate,
+                                    &InlineModel<D>::destroy,
+                                    std::is_trivially_copyable_v<D>,
+                                    std::is_trivially_destructible_v<D>};
+
+    template <typename D>
+    static constexpr Ops kHeapOps{&HeapModel<D>::invoke,
+                                  &HeapModel<D>::relocate,
+                                  &HeapModel<D>::destroy,
+                                  /*trivialRelocate=*/true,
+                                  /*trivialDestroy=*/false};
+
+    static std::uint64_t &
+    heapAllocs()
+    {
+        thread_local std::uint64_t count = 0;
+        return count;
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            if (ops_->trivialRelocate)
+                std::memcpy(buf_, other.buf_, kInlineBytes);
+            else
+                ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            if (!ops_->trivialDestroy)
+                ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(void *) unsigned char buf_[kInlineBytes];
+};
+
+} // namespace busarb
+
+#endif // BUSARB_SIM_EVENT_CALLBACK_HH

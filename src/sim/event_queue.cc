@@ -1,20 +1,416 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace busarb {
 
-EventQueue::EventId
-EventQueue::schedule(Tick when, Callback cb, int priority)
+namespace {
+
+/** Calendar geometry limits. */
+constexpr std::uint32_t kMinBucketCountLog2 = 3;  // 8 buckets
+constexpr std::uint32_t kMaxBucketCountLog2 = 16; // 65536 buckets
+constexpr std::uint32_t kMinBucketWidthLog2 = 0;
+/** Mean insert chain walk (steps per operation) that triggers a width
+ *  re-tune; a well-tuned calendar stays near one step. */
+constexpr std::size_t kRetuneScanFactor = 3;
+constexpr std::uint32_t kMaxBucketWidthLog2 = 44;
+
+/** First slab size; later slabs double up to the cap. */
+constexpr std::size_t kFirstSlabSlots = 64;
+constexpr std::size_t kMaxSlabSlots = 8192;
+
+std::uint32_t
+clampU32(std::uint32_t v, std::uint32_t lo, std::uint32_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** floor(log2(v)) for v >= 1. */
+std::uint32_t
+floorLog2(std::uint64_t v)
+{
+    std::uint32_t b = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+// ------------------------------------------------------- CalendarTuning
+
+CalendarTuning
+CalendarTuning::forExpectedDepth(std::size_t depth)
+{
+    CalendarTuning t;
+    if (depth >= 1)
+        t.bucketCountLog2 = clampU32(floorLog2(depth) + 1,
+                                     kMinBucketCountLog2,
+                                     kMaxBucketCountLog2);
+    return t;
+}
+
+CalendarTuning
+CalendarTuning::fromDepthHistogram(
+    const std::array<std::uint64_t, kEventDepthBuckets> &depth_log2)
+{
+    // The modal log2 bucket is the typical live depth while scheduling;
+    // size the calendar for that steady state.
+    std::size_t mode = 0;
+    std::uint64_t best = 0;
+    for (std::size_t b = 0; b < depth_log2.size(); ++b) {
+        if (depth_log2[b] > best) {
+            best = depth_log2[b];
+            mode = b;
+        }
+    }
+    if (best == 0)
+        return CalendarTuning{};
+    return forExpectedDepth(std::size_t{1} << (mode + 1));
+}
+
+// ------------------------------------------------------------ NodeArena
+
+EventQueue::Node *
+EventQueue::NodeArena::allocate()
+{
+    if (freeHead_ != nullptr) {
+        Slot *slot = freeHead_;
+        freeHead_ = slot->nextFree;
+        return reinterpret_cast<Node *>(slot->storage);
+    }
+    if (slabFill_ == slabSize_) {
+        slabSize_ = slabs_.empty()
+                        ? kFirstSlabSlots
+                        : std::min(slabSize_ * 2, kMaxSlabSlots);
+        slabs_.push_back(std::make_unique<Slot[]>(slabSize_));
+        slabFill_ = 0;
+        capacity_ += slabSize_;
+    }
+    return reinterpret_cast<Node *>(
+        slabs_.back()[slabFill_++].storage);
+}
+
+void
+EventQueue::NodeArena::release(Node *node)
+{
+    Slot *slot = reinterpret_cast<Slot *>(node);
+    slot->nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+// ------------------------------------------------------------ lifecycle
+
+EventQueue::EventQueue(EventQueuePolicy policy, CalendarTuning tuning)
+    : policy_(policy)
+{
+    if (policy_ == EventQueuePolicy::kCalendar) {
+        const std::uint32_t count_log2 =
+            clampU32(tuning.bucketCountLog2, kMinBucketCountLog2,
+                     kMaxBucketCountLog2);
+        widthLog2_ = clampU32(tuning.bucketWidthLog2, kMinBucketWidthLog2,
+                              kMaxBucketWidthLog2);
+        minCountLog2_ = count_log2;
+        buckets_.assign(std::size_t{1} << count_log2, nullptr);
+        tails_.assign(buckets_.size(), nullptr);
+        bucketBits_.assign((buckets_.size() + 63) / 64, 0);
+        bucketMask_ = buckets_.size() - 1;
+    }
+}
+
+EventQueue::~EventQueue()
+{
+    for (Node *head : buckets_) {
+        while (head != nullptr) {
+            Node *next = head->next;
+            head->~Node();
+            head = next;
+        }
+    }
+    // Heap entries (and their callbacks) are destroyed by the vector.
+}
+
+// ------------------------------------------------------------- calendar
+
+void
+EventQueue::calInsert(Node *node)
+{
+    const std::size_t bucket = calBucketOf(node->when);
+    bucketBits_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+    // Event ids increase monotonically, so a new event sorts after every
+    // same-(tick, priority) one already in its bucket; checking the tail
+    // first makes the common append — including dense many-events-per-
+    // tick floods, where chains cannot be short — O(1) instead of a
+    // whole-chain walk.
+    Node *tail = tails_[bucket];
+    if (tail != nullptr &&
+        earlier(tail->when, tail->priority, tail->id, node->when,
+                node->priority, node->id)) {
+        node->next = nullptr;
+        tail->next = node;
+        tails_[bucket] = node;
+    } else {
+        Node **link = &buckets_[bucket];
+        while (*link != nullptr &&
+               earlier((*link)->when, (*link)->priority, (*link)->id,
+                       node->when, node->priority, node->id)) {
+            link = &(*link)->next;
+            ++insertScanSteps_;
+        }
+        node->next = *link;
+        *link = node;
+        if (node->next == nullptr)
+            tails_[bucket] = node;
+    }
+    if (minValid_ &&
+        earlier(node->when, node->priority, node->id, cachedMin_->when,
+                cachedMin_->priority, cachedMin_->id)) {
+        cachedMin_ = node;
+    }
+}
+
+EventQueue::Node *
+EventQueue::calFindMin() const
+{
+    if (liveCount_ == 0)
+        return nullptr;
+    if (minValid_)
+        return cachedMin_;
+
+    // One "year" lap starting at now's bucket: the first occupied
+    // bucket whose head falls inside its current-year window holds the
+    // global minimum (windows ahead of now are disjoint and ascending,
+    // and same-tick events share a bucket). The occupancy bitmask
+    // jumps straight between non-empty buckets.
+    const std::uint64_t unow = static_cast<std::uint64_t>(now_);
+    const std::uint64_t chunk = unow >> widthLog2_;
+    const std::size_t start = static_cast<std::size_t>(chunk) & bucketMask_;
+    const std::uint64_t base_top = (chunk + 1) << widthLog2_;
+    const std::size_t nb = buckets_.size();
+    const std::size_t nwords = bucketBits_.size();
+    // First set bit at bucket index >= from, or nb if none.
+    const auto nextOccupied = [&](std::size_t from) -> std::size_t {
+        if (from >= nb)
+            return nb;
+        std::size_t w = from >> 6;
+        std::uint64_t bits =
+            bucketBits_[w] & (~std::uint64_t{0} << (from & 63));
+        while (bits == 0) {
+            if (++w == nwords)
+                return nb;
+            bits = bucketBits_[w];
+        }
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    };
+    bool wrapped = false;
+    std::size_t pos = nextOccupied(start);
+    if (pos == nb) {
+        wrapped = true;
+        pos = nextOccupied(0);
+        BUSARB_ASSERT(pos < nb, "live events lost from the calendar");
+    }
+    while (!(wrapped && pos >= start)) {
+        // Cyclic offset from the lap start (size_t wrap-around then
+        // mask yields (pos - start) mod nb).
+        const std::size_t i = (pos - start) & bucketMask_;
+        Node *head = buckets_[pos];
+        if (static_cast<std::uint64_t>(head->when) <
+            base_top + (static_cast<std::uint64_t>(i) << widthLog2_)) {
+            cachedMin_ = head;
+            minValid_ = true;
+            return head;
+        }
+        pos = nextOccupied(pos + 1);
+        if (pos == nb) {
+            if (wrapped)
+                break;
+            wrapped = true;
+            pos = nextOccupied(0);
+        }
+    }
+
+    // Sparse tail: every live event is more than a year ahead. Each
+    // bucket list is sorted, so the global minimum is the least head.
+    Node *best = nullptr;
+    for (std::size_t w = 0; w < nwords; ++w) {
+        for (std::uint64_t bits = bucketBits_[w]; bits != 0;
+             bits &= bits - 1) {
+            Node *head =
+                buckets_[(w << 6) +
+                         static_cast<std::size_t>(std::countr_zero(bits))];
+            if (best == nullptr ||
+                earlier(head->when, head->priority, head->id, best->when,
+                        best->priority, best->id)) {
+                best = head;
+            }
+        }
+    }
+    BUSARB_ASSERT(best != nullptr, "live events lost from the calendar");
+    cachedMin_ = best;
+    minValid_ = true;
+    return best;
+}
+
+void
+EventQueue::calRemove(Node *node, std::size_t bucket)
+{
+    Node *prev = nullptr;
+    Node **link = &buckets_[bucket];
+    while (*link != node) {
+        BUSARB_ASSERT(*link != nullptr, "event ", node->id,
+                      " missing from its calendar bucket");
+        prev = *link;
+        link = &(*link)->next;
+    }
+    *link = node->next;
+    if (node == tails_[bucket])
+        tails_[bucket] = prev;
+    if (buckets_[bucket] == nullptr)
+        bucketBits_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+    if (node == cachedMin_)
+        minValid_ = false;
+}
+
+void
+EventQueue::calMaybeResize()
+{
+    // Hysteresis: geometry changes only after a full bucket-count worth
+    // of operations since the last rebuild, and never below the tuned
+    // initial count — a live depth oscillating around a threshold must
+    // not ping-pong between rebuilds.
+    const std::size_t nb = buckets_.size();
+    if (++opsSinceRebuild_ < nb)
+        return;
+    if (liveCount_ > nb * 2 &&
+        nb < (std::size_t{1} << kMaxBucketCountLog2)) {
+        calRebuild(floorLog2(nb) + 1, widthLog2_);
+    } else if (liveCount_ < nb / 8 && floorLog2(nb) > minCountLog2_) {
+        calRebuild(floorLog2(nb) - 1, widthLog2_);
+    } else if (insertScanSteps_ > opsSinceRebuild_ * kRetuneScanFactor) {
+        // The count is right but inserts walk long chains: the bucket
+        // width no longer matches the tick distribution (e.g. the
+        // initial tuning guessed wrong and the depth never changed
+        // enough to trigger a count rebuild). Rebuild at the same count
+        // to re-tune the width from the live span.
+        calRebuild(floorLog2(nb), widthLog2_);
+    }
+}
+
+void
+EventQueue::calRebuild(std::uint32_t count_log2, std::uint32_t width_log2)
+{
+    rebuildScratch_.clear();
+    rebuildScratch_.reserve(liveCount_);
+    Tick min_when = kMaxTick;
+    Tick max_when = 0;
+    for (Node *head : buckets_) {
+        while (head != nullptr) {
+            rebuildScratch_.push_back(head);
+            min_when = std::min(min_when, head->when);
+            max_when = std::max(max_when, head->when);
+            head = head->next;
+        }
+    }
+
+    // Re-tune the width to the live span: aim for roughly one live
+    // event per bucket-width so bucket lists stay short while a year
+    // still covers the whole span. A span smaller than the live count
+    // (many events per tick) wants the narrowest buckets — one tick per
+    // bucket — so the sorted chains stay as short as the tick
+    // distribution allows.
+    if (rebuildScratch_.size() >= 2 && max_when > min_when) {
+        const std::uint64_t gap =
+            static_cast<std::uint64_t>(max_when - min_when) /
+            rebuildScratch_.size();
+        width_log2 = clampU32(gap >= 1 ? floorLog2(gap) + 1 : 0,
+                              kMinBucketWidthLog2, kMaxBucketWidthLog2);
+    }
+
+    widthLog2_ = width_log2;
+    buckets_.assign(std::size_t{1} << count_log2, nullptr);
+    tails_.assign(buckets_.size(), nullptr);
+    bucketBits_.assign((buckets_.size() + 63) / 64, 0);
+    bucketMask_ = buckets_.size() - 1;
+    minValid_ = false;
+    cachedMin_ = nullptr;
+    opsSinceRebuild_ = 0;
+    for (Node *node : rebuildScratch_)
+        calInsert(node);
+    // Reinsertion walks above must not count toward the next window's
+    // re-tune decision.
+    insertScanSteps_ = 0;
+}
+
+// ----------------------------------------------------------------- heap
+
+void
+EventQueue::heapSift() const
+{
+    // Drop cancelled entries sitting at the heap top, erasing their
+    // tombstones as they surface.
+    const auto later = [](const HeapEntry &a, const HeapEntry &b) {
+        return earlier(b.when, b.priority, b.id, a.when, a.priority, a.id);
+    };
+    while (!heap_.empty() && cancelled_.erase(heap_.front().id) > 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), later);
+        heap_.pop_back();
+    }
+}
+
+void
+EventQueue::heapCompactTombstones()
+{
+    const auto later = [](const HeapEntry &a, const HeapEntry &b) {
+        return earlier(b.when, b.priority, b.id, a.when, a.priority, a.id);
+    };
+    std::erase_if(heap_, [this](const HeapEntry &e) {
+        return cancelled_.count(e.id) > 0;
+    });
+    std::make_heap(heap_.begin(), heap_.end(), later);
+    cancelled_.clear();
+}
+
+// ------------------------------------------------------------------ API
+
+EventQueue::Callback *
+EventQueue::calScheduleSlot(Tick when, int priority, EventId &id)
 {
     BUSARB_ASSERT(when >= now_, "scheduling into the past: when=", when,
                   " now=", now_);
-    BUSARB_ASSERT(cb != nullptr, "null event callback");
+    id = nextId_++;
+    Node *node = new (arena_.allocate())
+        Node{when, priority, id, nullptr, Callback{}};
+    calInsert(node);
+    ++liveCount_;
+    calMaybeResize();
+#if BUSARB_PROFILING_ENABLED
+    recordDepth(liveCount_);
+#endif
+    return &node->cb;
+}
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    BUSARB_ASSERT(static_cast<bool>(cb), "null event callback");
+    if (policy_ == EventQueuePolicy::kCalendar) {
+        EventId id = 0;
+        *calScheduleSlot(when, priority, id) = std::move(cb);
+        return id;
+    }
+    BUSARB_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                  " now=", now_);
     const EventId id = nextId_++;
-    heap_.push(Entry{when, priority, id, std::move(cb)});
-    liveIds_.insert(id);
+    const auto later = [](const HeapEntry &a, const HeapEntry &b) {
+        return earlier(b.when, b.priority, b.id, a.when, a.priority, a.id);
+    };
+    heap_.push_back(HeapEntry{when, priority, id, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
     ++liveCount_;
 #if BUSARB_PROFILING_ENABLED
     recordDepth(liveCount_);
@@ -22,58 +418,136 @@ EventQueue::schedule(Tick when, Callback cb, int priority)
     return id;
 }
 
+Tick
+EventQueue::saturatedTick(Tick delay) const
+{
+    BUSARB_ASSERT(delay >= 0, "negative delay: ", delay);
+    // Saturate instead of wrapping: now + delay past kMaxTick is signed
+    // overflow (UB) before it is ever comparable, so clamp first.
+    return delay > kMaxTick - now_ ? kMaxTick : now_ + delay;
+}
+
 EventQueue::EventId
 EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
 {
-    BUSARB_ASSERT(delay >= 0, "negative delay: ", delay);
-    return schedule(now_ + delay, std::move(cb), priority);
+    return schedule(saturatedTick(delay), std::move(cb), priority);
 }
 
 bool
 EventQueue::deschedule(EventId id)
 {
-    // liveIds_ tracks exactly the entries still in the heap and not yet
-    // cancelled, so the tombstone set can never leak.
-    if (id == 0 || !liveIds_.count(id))
+    if (id == 0 || id >= nextId_)
+        return false;
+    if (policy_ == EventQueuePolicy::kCalendar) {
+        // Deschedules are rare (no per-event bookkeeping is worth
+        // carrying for them); find the node by scanning the live set.
+        for (std::size_t b = 0; b < buckets_.size(); ++b) {
+            for (Node *node = buckets_[b]; node != nullptr;
+                 node = node->next) {
+                if (node->id != id)
+                    continue;
+                calRemove(node, b);
+                node->~Node();
+                arena_.release(node);
+                BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
+                --liveCount_;
+                calMaybeResize();
+                return true;
+            }
+        }
+        return false;
+    }
+    if (cancelled_.count(id) > 0)
+        return false;
+    const bool live =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [id](const HeapEntry &e) { return e.id == id; });
+    if (!live)
         return false;
     cancelled_.insert(id);
-    liveIds_.erase(id);
     BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
     --liveCount_;
+    // Tombstones for far-future events would otherwise accumulate until
+    // they surfaced at the top; compact once they exceed half the live
+    // count so cancelled storage stays bounded by the live set.
+    if (cancelled_.size() * 2 > liveCount_)
+        heapCompactTombstones();
     return true;
-}
-
-void
-EventQueue::skipCancelled() const
-{
-    while (!heap_.empty() && cancelled_.count(heap_.top().id)) {
-        cancelled_.erase(heap_.top().id);
-        heap_.pop();
-    }
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    skipCancelled();
-    return heap_.empty() ? kMaxTick : heap_.top().when;
+    if (policy_ == EventQueuePolicy::kCalendar) {
+        const Node *min = calFindMin();
+        return min == nullptr ? kMaxTick : min->when;
+    }
+    heapSift();
+    return heap_.empty() ? kMaxTick : heap_.front().when;
 }
 
 bool
 EventQueue::runOne()
 {
-    skipCancelled();
+    if (policy_ == EventQueuePolicy::kCalendar) {
+        Node *min = calFindMin();
+        if (min == nullptr)
+            return false;
+        // The global minimum is always its bucket's head: anything in
+        // the same bucket sorting ahead of it would itself be earlier.
+        const std::size_t bucket = calBucketOf(min->when);
+        BUSARB_ASSERT(buckets_[bucket] == min,
+                      "calendar minimum is not its bucket head");
+        Node *succ = min->next;
+        buckets_[bucket] = succ;
+        if (succ == nullptr) {
+            tails_[bucket] = nullptr;
+            bucketBits_[bucket >> 6] &=
+                ~(std::uint64_t{1} << (bucket & 63));
+        }
+        if (succ != nullptr &&
+            (static_cast<std::uint64_t>(succ->when) >> widthLog2_) ==
+                (static_cast<std::uint64_t>(min->when) >> widthLog2_)) {
+            // A successor in the same year window is exactly what the
+            // lap scan from now's bucket would return next.
+            cachedMin_ = succ;
+            minValid_ = true;
+        } else {
+            cachedMin_ = nullptr;
+            minValid_ = false;
+        }
+        BUSARB_ASSERT(min->when >= now_, "event queue went backwards");
+        now_ = min->when;
+        BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
+        --liveCount_;
+        ++numExecuted_;
+        // The node is already unlinked, so the callback can run in
+        // place: its slot is not released to the arena until after the
+        // call, so events it schedules can never alias this node.
+        min->cb();
+        min->~Node();
+        arena_.release(min);
+        // No geometry check here: pops never walk chains (the min is
+        // its bucket's head), so mistuned width only costs on inserts
+        // and the insert path carries the re-tune triggers.
+        return true;
+    }
+
+    heapSift();
     if (heap_.empty())
         return false;
-    Entry top = heap_.top();
-    heap_.pop();
-    liveIds_.erase(top.id);
+    const auto later = [](const HeapEntry &a, const HeapEntry &b) {
+        return earlier(b.when, b.priority, b.id, a.when, a.priority, a.id);
+    };
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    HeapEntry entry = std::move(heap_.back());
+    heap_.pop_back();
+    BUSARB_ASSERT(entry.when >= now_, "event queue went backwards");
+    now_ = entry.when;
     BUSARB_ASSERT(liveCount_ > 0, "live count underflow");
     --liveCount_;
-    BUSARB_ASSERT(top.when >= now_, "event queue went backwards");
-    now_ = top.when;
     ++numExecuted_;
-    top.cb();
+    entry.cb();
     return true;
 }
 
@@ -87,6 +561,19 @@ EventQueue::run(Tick until)
         ++executed;
     }
     return executed;
+}
+
+std::size_t
+EventQueue::numTombstones() const
+{
+    return cancelled_.size();
+}
+
+std::size_t
+EventQueue::nodeCapacity() const
+{
+    return policy_ == EventQueuePolicy::kCalendar ? arena_.capacity()
+                                                  : heap_.capacity();
 }
 
 } // namespace busarb

@@ -7,19 +7,41 @@
  * sequence). Determinism matters here because several of the paper's
  * experiments (Table 4.5's "just miss" scenario) depend on exact tie
  * behaviour between simultaneous events.
+ *
+ * Two storage policies implement the same ordering contract behind one
+ * class (see docs/KERNEL.md):
+ *
+ *  - kCalendar (default): a calendar queue (Brown 1988) tuned for the
+ *    integer-tick timestamp distribution. Event nodes live in an arena
+ *    (freed slots are recycled, so steady state allocates nothing),
+ *    buckets hold short (tick, priority, id)-sorted lists, and the
+ *    bucket width re-tunes itself from the live event span as the
+ *    queue grows and shrinks. Deschedules unlink directly — no
+ *    tombstones.
+ *  - kHeap: the classic binary heap with a tombstone set for
+ *    cancellations, kept as the reference implementation. Differential
+ *    tests pin both policies to bit-identical execution order, and the
+ *    benchmarks report the speedup of one over the other.
+ *
+ * Both policies store callbacks in a small-buffer-optimized, move-only
+ * EventCallback, so popping an event moves the callable out instead of
+ * copying a std::function off the heap top.
  */
 
 #ifndef BUSARB_SIM_EVENT_QUEUE_HH
 #define BUSARB_SIM_EVENT_QUEUE_HH
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "sim/event_callback.hh"
 #include "sim/profiling.hh"
 #include "sim/types.hh"
 
@@ -46,6 +68,53 @@ enum EventPriority : int {
     kPriStats = 90,
 };
 
+/** Storage policy behind EventQueue; both obey the same ordering. */
+enum class EventQueuePolicy {
+    kCalendar, ///< calendar queue + arena (the fast default)
+    kHeap,     ///< binary heap + tombstones (reference implementation)
+};
+
+/** Buckets of the event-queue depth profile histogram (log2-spaced). */
+constexpr std::size_t kEventDepthBuckets = 24;
+
+/**
+ * Initial calendar-queue geometry. Both values are log2: the calendar
+ * re-tunes its bucket width from the live event span as it resizes, so
+ * these only seed the first configuration.
+ */
+struct CalendarTuning
+{
+    /** log2 of the initial bucket count. */
+    std::uint32_t bucketCountLog2 = 6;
+
+    /** log2 of the initial bucket width, in ticks. */
+    std::uint32_t bucketWidthLog2 = 20;
+
+    /**
+     * Geometry for an expected steady-state live-event depth: roughly
+     * two buckets per live event, so bucket lists stay a couple of
+     * entries long.
+     *
+     * @param depth Expected number of live events (e.g. agents + a few
+     *        bus events for the closed workloads).
+     * @return Tuning with the bucket count sized to the depth.
+     */
+    static CalendarTuning forExpectedDepth(std::size_t depth);
+
+    /**
+     * Geometry from a recorded per-schedule depth histogram (the
+     * profiler's queueDepthLog2 / EventQueue::profileDepthHistogram()):
+     * the modal log2 depth bucket chooses the initial bucket count, so
+     * a profiled run can seed the next run's calendar directly.
+     *
+     * @param depth_log2 Log2-bucketed schedule-depth counts.
+     * @return Tuning sized to the modal depth.
+     */
+    static CalendarTuning
+    fromDepthHistogram(
+        const std::array<std::uint64_t, kEventDepthBuckets> &depth_log2);
+};
+
 /**
  * A min-ordered queue of timed callbacks.
  *
@@ -56,11 +125,20 @@ class EventQueue
   public:
     /** Opaque handle for descheduling. 0 is never a valid id. */
     using EventId = std::uint64_t;
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
-    EventQueue() = default;
+    EventQueue() : EventQueue(EventQueuePolicy::kCalendar) {}
+
+    /**
+     * @param policy Storage policy (calendar or reference heap).
+     * @param tuning Initial calendar geometry; ignored by kHeap.
+     */
+    explicit EventQueue(EventQueuePolicy policy,
+                        CalendarTuning tuning = CalendarTuning{});
+
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /**
      * Schedule a callback at an absolute tick.
@@ -73,7 +151,35 @@ class EventQueue
     EventId schedule(Tick when, Callback cb, int priority = kPriDefault);
 
     /**
+     * Schedule a callable, constructing it directly in the queue's own
+     * storage (the arena node for the calendar policy) instead of
+     * moving it through a Callback temporary. Semantics are identical
+     * to schedule(Tick, Callback, int); this overload only removes two
+     * relocations per event from the hot path.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventId
+    schedule(Tick when, F &&fn, int priority = kPriDefault)
+    {
+        if (policy_ == EventQueuePolicy::kCalendar) {
+            EventId id = 0;
+            calScheduleSlot(when, priority, id)
+                ->emplace(std::forward<F>(fn));
+            return id;
+        }
+        return schedule(when, Callback(std::forward<F>(fn)), priority);
+    }
+
+    /**
      * Schedule a callback at a delay relative to now().
+     *
+     * Delays reaching past kMaxTick saturate at kMaxTick instead of
+     * overflowing: scheduleIn(kMaxTick, ...) is a valid "never, unless
+     * the horizon is infinite" sentinel event.
      *
      * @param delay Non-negative tick delay.
      * @param cb Callback to invoke.
@@ -81,6 +187,19 @@ class EventQueue
      * @return Handle usable with deschedule().
      */
     EventId scheduleIn(Tick delay, Callback cb, int priority = kPriDefault);
+
+    /** In-place-constructing variant of scheduleIn; see schedule(). */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventId
+    scheduleIn(Tick delay, F &&fn, int priority = kPriDefault)
+    {
+        return schedule(saturatedTick(delay), std::forward<F>(fn),
+                        priority);
+    }
 
     /**
      * Cancel a previously scheduled event.
@@ -126,8 +245,30 @@ class EventQueue
     /** @return Number of live (scheduled, not cancelled) events. */
     std::size_t numPending() const { return liveCount_; }
 
+    /** @return The storage policy this queue was built with. */
+    EventQueuePolicy policy() const { return policy_; }
+
+    /**
+     * Cancelled-but-not-yet-removed entries. Always 0 for the calendar
+     * policy (deschedule unlinks directly); for the heap policy the
+     * tombstone set is compacted whenever it exceeds half the live
+     * count, so this stays bounded by liveCount / 2 + 1.
+     *
+     * @return Current tombstone count.
+     */
+    std::size_t numTombstones() const;
+
+    /**
+     * Allocated event-slot capacity: arena node slots (calendar) or
+     * heap vector capacity (heap). Used by tests to pin that a
+     * schedule/deschedule churn loop cannot grow memory without bound.
+     *
+     * @return Number of event slots currently allocated.
+     */
+    std::size_t nodeCapacity() const;
+
     /** Buckets of the profile depth histogram (log2-spaced). */
-    static constexpr std::size_t kDepthBuckets = 24;
+    static constexpr std::size_t kDepthBuckets = kEventDepthBuckets;
 
     /**
      * Largest live-event depth ever reached. Maintained only when the
@@ -159,32 +300,123 @@ class EventQueue
     }
 
   private:
-    struct Entry
+    /** One live calendar event; recycled through the arena. */
+    struct Node
     {
         Tick when;
         int priority;
         EventId id; // doubles as insertion sequence
+        Node *next;
+        Callback cb;
+    };
+    // The callback's inline buffer is sized so a node is exactly one
+    // cache line; a pop touches one line plus the bucket head.
+    static_assert(sizeof(Node) == 64, "event node must fit a cache line");
+
+    /**
+     * Slab allocator for calendar nodes. Freed slots are threaded onto
+     * a free list and recycled, so a steady-state simulation performs
+     * no per-event allocation and churn cannot grow memory beyond the
+     * high-water mark of live events.
+     */
+    class NodeArena
+    {
+      public:
+        Node *allocate();
+        void release(Node *node);
+
+        /** @return Total node slots allocated across all slabs. */
+        std::size_t capacity() const { return capacity_; }
+
+      private:
+        union Slot
+        {
+            Slot *nextFree;
+            alignas(Node) unsigned char storage[sizeof(Node)];
+        };
+
+        std::vector<std::unique_ptr<Slot[]>> slabs_;
+        Slot *freeHead_ = nullptr;
+        std::size_t slabFill_ = 0; // used slots in the newest slab
+        std::size_t slabSize_ = 0; // slots in the newest slab
+        std::size_t capacity_ = 0;
+    };
+
+    /** One heap entry (reference policy). */
+    struct HeapEntry
+    {
+        Tick when;
+        int priority;
+        EventId id;
         Callback cb;
     };
 
-    struct Later
+    /** Strict (tick, priority, id) order. */
+    static bool
+    earlier(Tick aw, int ap, EventId ai, Tick bw, int bp, EventId bi)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.id > b.id;
-        }
-    };
+        if (aw != bw)
+            return aw < bw;
+        if (ap != bp)
+            return ap < bp;
+        return ai < bi;
+    }
 
-    // mutable: nextTick() lazily pops cancelled entries but is logically
-    // const.
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    /** Clamp now() + delay to kMaxTick (see scheduleIn). */
+    Tick saturatedTick(Tick delay) const;
+
+    // --- calendar policy ---
+    /** Allocate, link, and account a node; cb is filled by the caller. */
+    Callback *calScheduleSlot(Tick when, int priority, EventId &id);
+    void calInsert(Node *node);
+    Node *calFindMin() const;
+    void calRemove(Node *node, std::size_t bucket);
+    void calMaybeResize();
+    void calRebuild(std::uint32_t count_log2, std::uint32_t width_log2);
+    std::size_t
+    calBucketOf(Tick when) const
+    {
+        return (static_cast<std::uint64_t>(when) >> widthLog2_) &
+               bucketMask_;
+    }
+
+    // --- heap policy ---
+    void heapSift() const;
+    void heapCompactTombstones();
+
+    EventQueuePolicy policy_;
+
+    // Calendar state. Buckets are heads of (tick, priority, id)-sorted
+    // singly-linked lists; the min cache avoids re-scanning between a
+    // nextTick() and the runOne() that follows it.
+    mutable std::vector<Node *> buckets_;
+    // Last node of each bucket list: ids increase monotonically, so the
+    // common insert is an O(1) tail append (see calInsert).
+    std::vector<Node *> tails_;
+    // One bit per bucket (1 = non-empty): the year-lap scan and the
+    // sparse-tail fallback jump between occupied buckets with bit
+    // scans instead of probing empty heads.
+    std::vector<std::uint64_t> bucketBits_;
+    std::uint32_t widthLog2_ = 0;
+    // The tuned-for geometry is the shrink floor: transient dips below
+    // the steady-state depth must not trigger rebuild ping-pong.
+    std::uint32_t minCountLog2_ = 0;
+    std::size_t opsSinceRebuild_ = 0;
+    // Link-walk steps spent in calInsert since the last rebuild; a high
+    // steps/ops ratio means the bucket width no longer matches the tick
+    // distribution (chains grew long) and triggers a width re-tune.
+    std::size_t insertScanSteps_ = 0;
+    std::size_t bucketMask_ = 0;
+    mutable Node *cachedMin_ = nullptr;
+    mutable bool minValid_ = false;
+    NodeArena arena_;
+    std::vector<Node *> rebuildScratch_;
+
+    // Heap state (reference policy). mutable: nextTick() lazily pops
+    // cancelled entries but is logically const.
+    mutable std::vector<HeapEntry> heap_;
     mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> liveIds_;
+
     Tick now_ = 0;
     EventId nextId_ = 1;
     std::size_t liveCount_ = 0;
@@ -204,15 +436,11 @@ class EventQueue
         if (depth > maxDepth_)
             maxDepth_ = depth;
         // Bucket floor(log2(depth)), clamped to the last bucket.
-        std::size_t b = 0;
-        while ((depth >> b) > 1 && b < kDepthBuckets - 1)
-            ++b;
-        ++depthLog2_[b];
+        const auto lg =
+            static_cast<std::size_t>(std::bit_width(depth)) - 1;
+        ++depthLog2_[lg < kDepthBuckets ? lg : kDepthBuckets - 1];
     }
 #endif
-
-    /** Drop cancelled entries sitting at the top of the heap. */
-    void skipCancelled() const;
 };
 
 } // namespace busarb

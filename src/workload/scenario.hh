@@ -31,6 +31,15 @@ struct ScenarioConfig
     /** Base seed; each agent gets an independent sub-stream. */
     std::uint64_t seed = 0x5eedcafe;
 
+    /**
+     * Event-queue storage policy. kCalendar is the fast default; kHeap
+     * is the reference heap kernel, kept selectable so differential
+     * tests and benchmarks can push the identical scenario through both
+     * implementations (the determinism contract makes every artifact
+     * byte-identical between them).
+     */
+    EventQueuePolicy eventQueuePolicy = EventQueuePolicy::kCalendar;
+
     /** Batch-means output analysis (Section 4.1: 10 x 8000). */
     int numBatches = 10;
     std::uint64_t batchSize = 8000;

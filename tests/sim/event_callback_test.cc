@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the small-buffer-optimized event callback.
+ */
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_callback.hh"
+
+namespace busarb {
+namespace {
+
+TEST(EventCallbackTest, DefaultIsEmpty)
+{
+    EventCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EventCallback null_cb(nullptr);
+    EXPECT_FALSE(static_cast<bool>(null_cb));
+}
+
+TEST(EventCallbackTest, InvokesStoredCallable)
+{
+    int hits = 0;
+    EventCallback cb([&hits] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallbackTest, MoveTransfersOwnership)
+{
+    int hits = 0;
+    EventCallback a([&hits] { ++hits; });
+    EventCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    EventCallback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    ASSERT_TRUE(static_cast<bool>(c));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventCallbackTest, DestroysCapturedState)
+{
+    auto token = std::make_shared<int>(42);
+    EXPECT_EQ(token.use_count(), 1);
+    {
+        EventCallback cb([token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventCallbackTest, SmallCallablesStayInline)
+{
+    const auto before = EventCallback::heapAllocations();
+    // Typical simulator callback shape: a couple of captured pointers.
+    int a = 0, b = 0;
+    for (int i = 0; i < 64; ++i) {
+        EventCallback cb([&a, &b] { a += b; });
+        cb();
+    }
+    EXPECT_EQ(EventCallback::heapAllocations(), before);
+}
+
+TEST(EventCallbackTest, OversizedCallablesFallBackToHeapAndCount)
+{
+    const auto before = EventCallback::heapAllocations();
+    std::array<std::uint64_t, 16> big{}; // 128 bytes > kInlineBytes
+    big[0] = 7;
+    std::uint64_t seen = 0;
+    EventCallback cb([big, &seen] { seen = big[0]; });
+    EXPECT_EQ(EventCallback::heapAllocations(), before + 1);
+    cb();
+    EXPECT_EQ(seen, 7u);
+
+    // The heap payload moves by pointer: no second allocation.
+    EventCallback moved(std::move(cb));
+    EXPECT_EQ(EventCallback::heapAllocations(), before + 1);
+    seen = 0;
+    moved();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventCallbackTest, ReassignmentDestroysPreviousCallable)
+{
+    auto token = std::make_shared<int>(1);
+    EventCallback cb([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+    cb = EventCallback([] {});
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Policy-seam tests for the event queue: both storage policies must
+ * implement the identical (tick, priority, id) ordering contract, the
+ * scheduleIn() saturation rule, and bounded memory under churn.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace busarb {
+namespace {
+
+class EventQueuePolicyTest
+    : public ::testing::TestWithParam<EventQueuePolicy>
+{
+  protected:
+    EventQueue queue_{GetParam()};
+};
+
+TEST_P(EventQueuePolicyTest, ReportsItsPolicy)
+{
+    EXPECT_EQ(queue_.policy(), GetParam());
+}
+
+TEST_P(EventQueuePolicyTest, ExecutesInTickPriorityIdOrder)
+{
+    std::vector<int> order;
+    queue_.schedule(30, [&] { order.push_back(5); });
+    queue_.schedule(10, [&] { order.push_back(1); }, kPriDefault);
+    queue_.schedule(10, [&] { order.push_back(0); }, kPriArbitration);
+    queue_.schedule(20, [&] { order.push_back(3); });
+    queue_.schedule(20, [&] { order.push_back(4); });
+    queue_.schedule(10, [&] { order.push_back(2); }, kPriDefault);
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+    EXPECT_EQ(queue_.numExecuted(), 6u);
+}
+
+TEST_P(EventQueuePolicyTest, DescheduleRemovesOnlyTheTarget)
+{
+    std::vector<int> order;
+    queue_.schedule(1, [&] { order.push_back(1); });
+    const auto id = queue_.schedule(2, [&] { order.push_back(2); });
+    queue_.schedule(3, [&] { order.push_back(3); });
+    EXPECT_TRUE(queue_.deschedule(id));
+    EXPECT_FALSE(queue_.deschedule(id));
+    EXPECT_EQ(queue_.numPending(), 2u);
+    queue_.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST_P(EventQueuePolicyTest, NextTickSkipsCancelledHead)
+{
+    const auto id = queue_.schedule(5, [] {});
+    queue_.schedule(9, [] {});
+    EXPECT_EQ(queue_.nextTick(), 5);
+    queue_.deschedule(id);
+    EXPECT_EQ(queue_.nextTick(), 9);
+}
+
+TEST_P(EventQueuePolicyTest, ScheduleInSaturatesAtMaxTick)
+{
+    // A delay reaching past kMaxTick must clamp, not overflow.
+    queue_.schedule(100, [] {});
+    queue_.run();
+    ASSERT_EQ(queue_.now(), 100);
+    queue_.scheduleIn(kMaxTick, [] {});
+    EXPECT_EQ(queue_.nextTick(), kMaxTick);
+    queue_.scheduleIn(kMaxTick - 100, [] {}); // exact fit, no clamp
+    EXPECT_EQ(queue_.numPending(), 2u);
+    EXPECT_EQ(queue_.nextTick(), kMaxTick);
+}
+
+TEST_P(EventQueuePolicyTest, EventsAtMaxTickExecute)
+{
+    bool ran = false;
+    queue_.schedule(kMaxTick, [&] { ran = true; });
+    queue_.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(queue_.now(), kMaxTick);
+    // Saturation keeps scheduleIn legal even at the end of time.
+    queue_.scheduleIn(1, [] {});
+    EXPECT_EQ(queue_.nextTick(), kMaxTick);
+}
+
+TEST_P(EventQueuePolicyTest, SaturatedSentinelCanBeDescheduled)
+{
+    // The "never, unless the horizon is infinite" idiom: park a
+    // sentinel at kMaxTick, then cancel it.
+    const auto id = queue_.scheduleIn(kMaxTick, [] {});
+    bool ran = false;
+    queue_.schedule(7, [&] { ran = true; });
+    EXPECT_EQ(queue_.run(1000), 1u);
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(queue_.deschedule(id));
+    EXPECT_TRUE(queue_.empty());
+}
+
+TEST_P(EventQueuePolicyTest, ChurnDoesNotGrowMemoryUnbounded)
+{
+    // Schedule/deschedule churn against far-future events: tombstones
+    // (heap) must compact and node slots (calendar) must recycle, so
+    // neither footprint tracks the total number of operations.
+    std::vector<EventQueue::EventId> parked;
+    for (int i = 0; i < 32; ++i)
+        parked.push_back(
+            queue_.schedule(1'000'000 + i, [] {}, kPriStats));
+
+    for (int round = 0; round < 2000; ++round) {
+        const auto id = queue_.schedule(2'000'000 + round, [] {});
+        EXPECT_TRUE(queue_.deschedule(id));
+        EXPECT_LE(queue_.numTombstones(),
+                  queue_.numPending() / 2 + 1);
+    }
+    // 32 live events after 2000 churn rounds: capacity must reflect the
+    // high-water mark (a few dozen slots), not the operation count.
+    EXPECT_EQ(queue_.numPending(), 32u);
+    EXPECT_LE(queue_.nodeCapacity(), 256u);
+
+    for (const auto id : parked)
+        EXPECT_TRUE(queue_.deschedule(id));
+    EXPECT_TRUE(queue_.empty());
+}
+
+using EventQueuePolicyDeathTest = EventQueuePolicyTest;
+
+TEST_P(EventQueuePolicyDeathTest, DeathOnContractViolations)
+{
+    EXPECT_DEATH(queue_.scheduleIn(-1, [] {}), "negative delay");
+    EXPECT_DEATH(queue_.schedule(1, EventQueue::Callback{}),
+                 "null event");
+    queue_.schedule(10, [] {});
+    queue_.run();
+    EXPECT_DEATH(queue_.schedule(5, [] {}), "scheduling into the past");
+}
+
+const auto kPolicyName =
+    [](const ::testing::TestParamInfo<EventQueuePolicy> &info) {
+        return std::string(info.param == EventQueuePolicy::kCalendar
+                               ? "calendar"
+                               : "heap");
+    };
+
+INSTANTIATE_TEST_SUITE_P(
+    BothPolicies, EventQueuePolicyTest,
+    ::testing::Values(EventQueuePolicy::kCalendar,
+                      EventQueuePolicy::kHeap),
+    kPolicyName);
+
+INSTANTIATE_TEST_SUITE_P(
+    BothPolicies, EventQueuePolicyDeathTest,
+    ::testing::Values(EventQueuePolicy::kCalendar,
+                      EventQueuePolicy::kHeap),
+    kPolicyName);
+
+/**
+ * High-churn random schedule/cancel fuzz pushed through both policies
+ * in lock-step, asserting identical execution order, now() trajectory,
+ * and numExecuted() — the queue-level half of the differential proof
+ * (the full-scenario half lives in tests/experiment).
+ */
+TEST(EventQueueDifferentialTest, RandomChurnExecutesIdentically)
+{
+    constexpr int kOps = 5000;
+    const int priorities[] = {kPriTransactionEnd, kPriArbitration,
+                              kPriRequestArrival, kPriBeginPass,
+                              kPriDefault, kPriStats};
+
+    const auto drive = [&](EventQueue &q) {
+        // (op sequence number, execution tick) log; ids are assigned
+        // identically on both sides because the op sequence is.
+        std::vector<std::pair<int, Tick>> log;
+        std::vector<Tick> trajectory;
+        std::vector<EventQueue::EventId> live;
+        std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+        const auto next = [&rng] {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            return rng;
+        };
+        for (int op = 0; op < kOps; ++op) {
+            const std::uint64_t roll = next() % 100;
+            if (roll < 55 || live.empty()) {
+                const Tick delay = static_cast<Tick>(next() % 64);
+                const int pri = priorities[next() % 6];
+                live.push_back(q.scheduleIn(
+                    delay,
+                    [&log, &q, op] { log.emplace_back(op, q.now()); },
+                    pri));
+            } else if (roll < 75) {
+                const std::size_t victim = next() % live.size();
+                q.deschedule(live[victim]);
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+            } else {
+                q.runOne();
+                trajectory.push_back(q.now());
+            }
+        }
+        q.run();
+        trajectory.push_back(q.now());
+        return std::make_tuple(log, trajectory, q.numExecuted());
+    };
+
+    EventQueue calendar(EventQueuePolicy::kCalendar);
+    EventQueue heap(EventQueuePolicy::kHeap);
+    const auto [cal_log, cal_traj, cal_count] = drive(calendar);
+    const auto [heap_log, heap_traj, heap_count] = drive(heap);
+    EXPECT_EQ(cal_log, heap_log);
+    EXPECT_EQ(cal_traj, heap_traj);
+    EXPECT_EQ(cal_count, heap_count);
+    EXPECT_GT(cal_count, 1000u);
+}
+
+/** The calendar must stay correct across growth-driven rebuilds. */
+TEST(EventQueueDifferentialTest, GrowthAndDrainMatchAcrossPolicies)
+{
+    EventQueue calendar(EventQueuePolicy::kCalendar,
+                        CalendarTuning{3, 4}); // tiny: force rebuilds
+    EventQueue heap(EventQueuePolicy::kHeap);
+    const auto drive = [](EventQueue &q) {
+        std::vector<std::pair<int, Tick>> log;
+        std::uint64_t rng = 12345;
+        for (int i = 0; i < 4000; ++i) {
+            rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+            const Tick when = static_cast<Tick>(rng % 1'000'000);
+            q.schedule(when,
+                       [&log, &q, i] { log.emplace_back(i, q.now()); });
+        }
+        q.run();
+        return log;
+    };
+    EXPECT_EQ(drive(calendar), drive(heap));
+    EXPECT_EQ(calendar.numExecuted(), 4000u);
+}
+
+} // namespace
+} // namespace busarb

@@ -64,6 +64,7 @@ main(int argc, char **argv)
                        "print the protocol catalogue (keys, parameters, "
                        "defaults, paper sections) and exit");
     addScenarioFlags(parser);
+    addQueueFlag(parser);
     parser.addStringFlag("batches-csv", "",
                          "write per-batch measurements to this file");
     parser.addStringFlag("histogram-csv", "",
@@ -181,6 +182,7 @@ main(int argc, char **argv)
     config.healthRelHwTarget = parser.getDouble("health-rel-hw");
     config.healthLag1Threshold = parser.getDouble("health-lag1");
     config.profile = parser.getBool("profile");
+    config.eventQueuePolicy = queuePolicyOrExit("busarb_sim", parser);
     config.auditFairness =
         parser.getBool("fairness") || snapshot_every > 0.0;
     config.fairnessWindowUnits = parser.getDouble("fairness-window");

@@ -119,6 +119,7 @@ main(int argc, char **argv)
                        "print a live progress/ETA line to stderr as grid "
                        "cells complete (stderr only, so stdout and every "
                        "artifact stay byte-identical)");
+    addQueueFlag(parser);
     if (!parser.parse(argc, argv))
         return parser.exitCode();
     if (parser.getBool("list-protocols")) {
@@ -221,6 +222,8 @@ main(int argc, char **argv)
         config.monitorHealth = monitor_health;
         config.healthRelHwTarget = parser.getDouble("health-rel-hw");
         config.healthLag1Threshold = parser.getDouble("health-lag1");
+        config.eventQueuePolicy =
+            queuePolicyOrExit("busarb_sweep", parser);
         for (const auto &key : protocol_keys)
             grid.push_back({config,
                             protocolFactoryOrExit("busarb_sweep", key),
