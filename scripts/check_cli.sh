@@ -99,6 +99,28 @@ expect 2 "conflicts with --scenario" "report scenario/flag conflict" \
 expect 1 "cannot read" "sim missing scenario file" \
     "$sim" --scenario "$tmp/does-not-exist.scenario"
 
+# Artifact paths into a missing parent directory are usage errors,
+# caught up front (before any simulation) and naming both the
+# directory and the flag, on every tool that writes artifacts.
+missing="$tmp/no/such/dir"
+expect 2 "$tmp/no/such" "sim metrics parent dir" \
+    "$sim" --protocol rr1 --agents 4 --batches 1 --batch-size 100 \
+    --warmup 0 --metrics-out "$missing/m.json"
+expect 2 "trace-out" "sim trace parent dir" \
+    "$sim" --protocol rr1 --agents 4 --batches 1 --batch-size 100 \
+    --warmup 0 --trace-out "$missing/run.trace"
+expect 2 "does not exist" "sweep csv parent dir" \
+    "$sweep" --protocols rr1 --loads 0.5 --agents 4 --batches 1 \
+    --batch-size 100 --csv "$missing/sweep.csv"
+expect 2 "snapshot-out" "sweep snapshot parent dir" \
+    "$sweep" --protocols rr1 --loads 0.5 --agents 4 --batches 1 \
+    --batch-size 100 --health --snapshot-out "$missing/s.jsonl"
+expect 2 "does not exist" "report out parent dir" \
+    "$report" --protocol rr1 --agents 4 --batches 1 \
+    --batch-size 100 --out "$missing/report.md"
+expect 2 "perfetto" "trace perfetto parent dir" \
+    "$trace" "$tmp/whatever.trace" --perfetto "$missing/t.json"
+
 if [ "$fails" -ne 0 ]; then
     echo "FAIL: $fails CLI contract check(s) failed" >&2
     exit 1

@@ -26,6 +26,11 @@
 #      itself be --jobs-independent. Both inputs reduce to one
 #      ScenarioSpec and expand through the same cell-assembly path, so
 #      any divergence means the seam has forked.
+#   5. The same sweep run as a worker fleet (--shards 2) must also be
+#      byte-identical to the serial run: process boundaries, like
+#      thread interleaving, may never be observable in any artifact.
+#      (check_shard.sh drills the orchestration layer itself — crash
+#      recovery, refusal paths, corrupt manifests.)
 #
 # Usage: check_determinism.sh /path/to/busarb_sweep /path/to/busarb_sim
 set -eu
@@ -241,6 +246,30 @@ if ! grep -q "scenario.spec" "$tmp/grid1-metrics.csv"; then
     exit 1
 fi
 
+# Sharded sweeps: the multi-process fleet must reproduce the serial
+# artifacts byte for byte, trace and metrics included.
+"$sweep" --protocols rr1,fcfs1,aap1 --agents 8 --loads 0.5,2,7.5 \
+         --batches 3 --batch-size 400 --shards 2 \
+         --shard-dir "$tmp/shards" --csv "$tmp/sharded.csv" \
+         --trace-out "$tmp/sharded.trace" \
+         --metrics-out "$tmp/sharded-metrics.csv" \
+         --fairness --health > /dev/null
+if ! cmp -s "$tmp/serial.csv" "$tmp/sharded.csv"; then
+    echo "FAIL: --shards 2 CSV differs from the in-process sweep" >&2
+    diff -u "$tmp/serial.csv" "$tmp/sharded.csv" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/serial.trace" "$tmp/sharded.trace"; then
+    echo "FAIL: --shards 2 binary trace differs from in-process" >&2
+    exit 1
+fi
+if ! cmp -s "$tmp/serial-metrics.csv" "$tmp/sharded-metrics.csv"; then
+    echo "FAIL: --shards 2 metrics differ from the in-process sweep" >&2
+    diff -u "$tmp/serial-metrics.csv" "$tmp/sharded-metrics.csv" \
+        >&2 || true
+    exit 1
+fi
+
 set +e
 "$sweep" --loads 0.5,bogus --agents 4 --batches 2 --batch-size 200 \
     > "$tmp/bad.out" 2>&1
@@ -257,6 +286,6 @@ if ! grep -q "bogus" "$tmp/bad.out"; then
     exit 1
 fi
 
-echo "ok: parallel sweep CSV, trace, metrics, and fairness/health" \
-     "snapshots byte-identical to serial and across --queue" \
-     "policies; bad tokens rejected with exit 2"
+echo "ok: parallel and sharded sweep CSV, trace, metrics, and" \
+     "fairness/health snapshots byte-identical to serial and across" \
+     "--queue policies; bad tokens rejected with exit 2"

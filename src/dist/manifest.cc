@@ -1,0 +1,390 @@
+#include "dist/manifest.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "dist/shard_plan.hh"
+
+namespace busarb {
+
+namespace {
+
+/**
+ * Strict field-by-field parser for the manifest's own JSONL output.
+ * The writer emits one fixed shape per line, so the reader demands
+ * exactly that shape — any deviation is corruption, which makes the
+ * parser double as the integrity check for complete lines.
+ */
+struct LineParser
+{
+    const std::string &line;
+    std::size_t pos = 0;
+
+    explicit LineParser(const std::string &l) : line(l) {}
+
+    bool
+    literal(const char *text)
+    {
+        const std::size_t n = std::strlen(text);
+        if (line.compare(pos, n, text) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    number(std::uint64_t &out)
+    {
+        if (pos >= line.size() || line[pos] < '0' || line[pos] > '9')
+            return false;
+        std::uint64_t value = 0;
+        while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+            const std::uint64_t digit =
+                static_cast<std::uint64_t>(line[pos] - '0');
+            if (value > (UINT64_MAX - digit) / 10)
+                return false;
+            value = value * 10 + digit;
+            ++pos;
+        }
+        out = value;
+        return true;
+    }
+
+    /** Consume a quoted run of `n` characters into `out`. */
+    bool
+    fixedString(std::size_t n, std::string &out)
+    {
+        if (line.size() - pos < n)
+            return false;
+        out = line.substr(pos, n);
+        pos += n;
+        return true;
+    }
+
+    /** Consume characters up to (not including) the next '"'. */
+    bool
+    untilQuote(std::string &out)
+    {
+        const std::size_t quote = line.find('"', pos);
+        if (quote == std::string::npos)
+            return false;
+        out = line.substr(pos, quote - pos);
+        pos = quote;
+        return true;
+    }
+
+    bool atEnd() const { return pos == line.size(); }
+};
+
+std::string
+headerLine(const ManifestHeader &header)
+{
+    std::ostringstream os;
+    os << "{\"kind\":\"busarb-shard-manifest\",\"version\":"
+       << kManifestVersion << ",\"fingerprint\":\""
+       << fingerprintHex(header.fingerprint) << "\",\"shard\":"
+       << header.shard << ",\"begin\":" << header.begin
+       << ",\"end\":" << header.end << "}\n";
+    return os.str();
+}
+
+bool
+parseHeaderLine(const std::string &line, ManifestHeader &out,
+                std::uint64_t &version)
+{
+    LineParser p(line);
+    std::string fp;
+    std::uint64_t shard = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    if (!p.literal("{\"kind\":\"busarb-shard-manifest\",\"version\":") ||
+        !p.number(version) || !p.literal(",\"fingerprint\":\"") ||
+        !p.fixedString(16, fp) || !p.literal("\",\"shard\":") ||
+        !p.number(shard) || !p.literal(",\"begin\":") ||
+        !p.number(begin) || !p.literal(",\"end\":") || !p.number(end) ||
+        !p.literal("}") || !p.atEnd())
+        return false;
+    if (!parseFingerprintHex(fp, out.fingerprint))
+        return false;
+    out.shard = static_cast<std::size_t>(shard);
+    out.begin = static_cast<std::size_t>(begin);
+    out.end = static_cast<std::size_t>(end);
+    return true;
+}
+
+bool
+parseCellLine(const std::string &line, std::size_t &cell,
+              std::vector<std::uint8_t> &record)
+{
+    LineParser p(line);
+    std::uint64_t index = 0;
+    std::string check;
+    std::uint64_t bytes = 0;
+    std::string hex;
+    if (!p.literal("{\"cell\":") || !p.number(index) ||
+        !p.literal(",\"check\":\"") || !p.fixedString(16, check) ||
+        !p.literal("\",\"bytes\":") || !p.number(bytes) ||
+        !p.literal(",\"data\":\"") || !p.untilQuote(hex) ||
+        !p.literal("\"}") || !p.atEnd())
+        return false;
+    if (!hexDecode(hex, record))
+        return false;
+    if (record.size() != bytes)
+        return false;
+    std::uint64_t expected = 0;
+    if (!parseFingerprintHex(check, expected))
+        return false;
+    if (manifestChecksum(record) != expected)
+        return false;
+    cell = static_cast<std::size_t>(index);
+    return true;
+}
+
+} // namespace
+
+std::string
+hexEncode(const std::vector<std::uint8_t> &data)
+{
+    static const char *const kDigits = "0123456789abcdef";
+    std::string text;
+    text.reserve(data.size() * 2);
+    for (const std::uint8_t byte : data) {
+        text.push_back(kDigits[byte >> 4]);
+        text.push_back(kDigits[byte & 0xf]);
+    }
+    return text;
+}
+
+bool
+hexDecode(const std::string &text, std::vector<std::uint8_t> &out)
+{
+    if (text.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(text.size() / 2);
+    int hi = -1;
+    for (const char c : text) {
+        int digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        if (hi < 0) {
+            hi = digit;
+        } else {
+            out.push_back(static_cast<std::uint8_t>((hi << 4) | digit));
+            hi = -1;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+manifestChecksum(const std::vector<std::uint8_t> &data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const std::uint8_t byte : data) {
+        hash ^= byte;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+ManifestReadStatus
+readManifest(const std::string &path, const ManifestHeader &expected,
+             ManifestContents &out, std::string &error)
+{
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0) {
+        if (errno == ENOENT)
+            return ManifestReadStatus::kMissing;
+        error = path + ": cannot stat manifest: " + std::strerror(errno);
+        return ManifestReadStatus::kIoError;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        error = path + ": cannot open manifest";
+        return ManifestReadStatus::kIoError;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) {
+        error = path + ": read error";
+        return ManifestReadStatus::kIoError;
+    }
+    const std::string text = buffer.str();
+
+    out = ManifestContents{};
+    const auto corrupt = [&](const std::string &what) {
+        error = path + ": " + what;
+        return ManifestReadStatus::kCorrupt;
+    };
+
+    bool sawHeader = false;
+    std::size_t lineStart = 0;
+    std::size_t lineNo = 0;
+    while (lineStart < text.size()) {
+        const std::size_t newline = text.find('\n', lineStart);
+        if (newline == std::string::npos) {
+            // Torn final line: the expected artifact of a mid-write
+            // kill. Drop it; the resuming writer truncates it away.
+            out.tornTail = true;
+            break;
+        }
+        const std::string line =
+            text.substr(lineStart, newline - lineStart);
+        ++lineNo;
+        if (!sawHeader) {
+            std::uint64_t version = 0;
+            ManifestHeader header;
+            if (!parseHeaderLine(line, header, version))
+                return corrupt("line 1: malformed manifest header");
+            if (version != kManifestVersion)
+                return corrupt(
+                    "manifest version " + std::to_string(version) +
+                    " does not match this build (expected " +
+                    std::to_string(kManifestVersion) + ")");
+            if (header.fingerprint != expected.fingerprint)
+                return corrupt(
+                    "sweep fingerprint " +
+                    fingerprintHex(header.fingerprint) +
+                    " does not match this sweep (expected " +
+                    fingerprintHex(expected.fingerprint) +
+                    "); the checkpoint belongs to a different grid");
+            if (header.shard != expected.shard ||
+                header.begin != expected.begin ||
+                header.end != expected.end)
+                return corrupt("shard range mismatch in header");
+            out.header = header;
+            sawHeader = true;
+        } else {
+            std::size_t cell = 0;
+            std::vector<std::uint8_t> record;
+            if (!parseCellLine(line, cell, record))
+                return corrupt("line " + std::to_string(lineNo) +
+                               ": malformed or checksum-failed cell "
+                               "record");
+            if (cell < expected.begin || cell >= expected.end)
+                return corrupt("line " + std::to_string(lineNo) +
+                               ": cell " + std::to_string(cell) +
+                               " outside shard range");
+            const auto existing = out.cells.find(cell);
+            if (existing != out.cells.end()) {
+                if (existing->second != record)
+                    return corrupt(
+                        "line " + std::to_string(lineNo) +
+                        ": conflicting duplicate record for cell " +
+                        std::to_string(cell));
+                // Byte-identical duplicate (orphan worker race): keep
+                // the first copy.
+            } else {
+                out.cells.emplace(cell, std::move(record));
+            }
+        }
+        lineStart = newline + 1;
+        out.validBytes = lineStart;
+    }
+
+    if (!sawHeader && !out.tornTail && !text.empty())
+        return corrupt("no manifest header");
+    if (!sawHeader)
+        out.header = expected;
+    return ManifestReadStatus::kOk;
+}
+
+ManifestWriter::~ManifestWriter()
+{
+    close();
+}
+
+void
+ManifestWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+ManifestWriter::open(const std::string &path,
+                     const ManifestHeader &header,
+                     std::size_t valid_bytes, std::string &error)
+{
+    close();
+    path_ = path;
+    // No O_APPEND: resume must first truncate away any torn tail, and
+    // we are the only writer of this descriptor.
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (fd_ < 0) {
+        error = path + ": cannot open manifest for writing: " +
+                std::strerror(errno);
+        return false;
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+        error = path + ": cannot truncate torn tail: " +
+                std::strerror(errno);
+        close();
+        return false;
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+        error = path + ": cannot seek: " + std::strerror(errno);
+        close();
+        return false;
+    }
+    if (valid_bytes == 0) {
+        const std::string line = headerLine(header);
+        if (::write(fd_, line.data(), line.size()) !=
+            static_cast<ssize_t>(line.size())) {
+            error = path + ": cannot write manifest header: " +
+                    std::strerror(errno);
+            close();
+            return false;
+        }
+    }
+    if (::fsync(fd_) != 0) {
+        error = path + ": fsync failed: " + std::strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ManifestWriter::appendCell(std::size_t cell,
+                           const std::vector<std::uint8_t> &record,
+                           std::string &error)
+{
+    if (fd_ < 0) {
+        error = "manifest writer is not open";
+        return false;
+    }
+    std::ostringstream os;
+    os << "{\"cell\":" << cell << ",\"check\":\""
+       << fingerprintHex(manifestChecksum(record)) << "\",\"bytes\":"
+       << record.size() << ",\"data\":\"" << hexEncode(record)
+       << "\"}\n";
+    const std::string line = os.str();
+    // One write() per line keeps a kill from interleaving two cells;
+    // the worst case is one torn tail, which readers drop.
+    if (::write(fd_, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+        error = path_ + ": cell write failed: " + std::strerror(errno);
+        return false;
+    }
+    if (::fsync(fd_) != 0) {
+        error = path_ + ": fsync failed: " + std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace busarb

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic reassembly of a sharded sweep's results.
+ *
+ * After every shard's manifest is complete, the coordinator decodes
+ * the checkpointed records back into ScenarioResult values, ordered by
+ * global cell index — exactly the vector runScenarioGrid would have
+ * returned in-process. All artifact emission (summary CSV, merged
+ * metrics, concatenated traces, snapshot JSONL) then runs the same
+ * code over the same values, which is what makes the merged artifacts
+ * byte-identical to a single-process run at any shard count.
+ */
+
+#ifndef BUSARB_DIST_MERGE_HH
+#define BUSARB_DIST_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "dist/shard_plan.hh"
+#include "experiment/runner.hh"
+
+namespace busarb {
+
+/** Outcome of collectShardResults. */
+enum class MergeStatus {
+    kOk,         ///< every cell recovered
+    kIncomplete, ///< a manifest is missing cells (or missing entirely)
+    kCorrupt,    ///< corrupt manifest or undecodable record; exit 2
+    kIoError,    ///< a manifest could not be read; exit 1
+};
+
+/**
+ * Recover the full grid's results from the shard manifests in `dir`.
+ *
+ * @param dir Shard directory.
+ * @param plan The shard plan (shard_plan.hh) the manifests were
+ *        written under.
+ * @param fingerprint Sweep fingerprint the manifests must carry.
+ * @param out Receives one result per grid cell, in cell order, on kOk.
+ * @param error Receives a diagnostic on any other status.
+ * @return Merge status.
+ */
+MergeStatus collectShardResults(const std::string &dir,
+                                const std::vector<ShardRange> &plan,
+                                std::uint64_t fingerprint,
+                                std::vector<ScenarioResult> &out,
+                                std::string &error);
+
+/**
+ * Count the completed cells recorded in one shard manifest, cheaply
+ * (newline count minus header; no record decoding). Used by the fleet
+ * progress display, which polls while workers run — a torn tail simply
+ * doesn't count yet.
+ *
+ * @param path Manifest file path.
+ * @return Completed-cell count; 0 for a missing or empty manifest.
+ */
+std::size_t countManifestCells(const std::string &path);
+
+} // namespace busarb
+
+#endif // BUSARB_DIST_MERGE_HH

@@ -1,0 +1,441 @@
+#include "dist/result_codec.hh"
+
+#include <cstring>
+
+#include "stats/convergence.hh"
+
+namespace busarb {
+
+namespace {
+
+/** Record magic: "BSRC" read as a big-endian u32. */
+constexpr std::uint32_t kMagic = 0x42535243u;
+
+// ---------------------------------------------------------------------
+// Encoding primitives. All multi-byte values are emitted via memcpy in
+// host byte order; doubles travel as their IEEE-754 bit patterns so the
+// round trip is bit-exact (decimal text would not be).
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    std::uint8_t raw[sizeof v];
+    std::memcpy(raw, &v, sizeof v);
+    out.insert(out.end(), raw, raw + sizeof v);
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    std::uint8_t raw[sizeof v];
+    std::memcpy(raw, &v, sizeof v);
+    out.insert(out.end(), raw, raw + sizeof v);
+}
+
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v, "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof v);
+    putU64(out, bits);
+}
+
+void
+putString(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putBytes(std::vector<std::uint8_t> &out,
+         const std::vector<std::uint8_t> &b)
+{
+    putU64(out, b.size());
+    out.insert(out.end(), b.begin(), b.end());
+}
+
+void
+putU64Vec(std::vector<std::uint8_t> &out,
+          const std::vector<std::uint64_t> &v)
+{
+    putU64(out, v.size());
+    for (const std::uint64_t x : v)
+        putU64(out, x);
+}
+
+void
+putDoubleVec(std::vector<std::uint8_t> &out, const std::vector<double> &v)
+{
+    putU64(out, v.size());
+    for (const double x : v)
+        putDouble(out, x);
+}
+
+void
+putHistogram(std::vector<std::uint8_t> &out, const Histogram &h)
+{
+    // Sparse form: most sweep histograms concentrate mass in a few of
+    // their 1200 bins, so (index, count) pairs beat a dense dump.
+    putDouble(out, h.binWidth());
+    putU64(out, h.numBins());
+    putDouble(out, h.sum());
+    putU64(out, h.overflow());
+    std::uint64_t nonzero = 0;
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        if (h.binCount(i) != 0)
+            ++nonzero;
+    putU64(out, nonzero);
+    for (std::size_t i = 0; i < h.numBins(); ++i) {
+        if (h.binCount(i) == 0)
+            continue;
+        putU64(out, i);
+        putU64(out, h.binCount(i));
+    }
+}
+
+void
+putRegistry(std::vector<std::uint8_t> &out, const MetricsRegistry &m)
+{
+    putU64(out, m.counters().size());
+    for (const auto &[name, counter] : m.counters()) {
+        putString(out, name);
+        putU64(out, counter.value());
+    }
+    putU64(out, m.gauges().size());
+    for (const auto &[name, gauge] : m.gauges()) {
+        putString(out, name);
+        putU64(out, gauge.count());
+        putDouble(out, gauge.sum());
+        putDouble(out, gauge.min());
+        putDouble(out, gauge.max());
+    }
+    putU64(out, m.histograms().size());
+    for (const auto &[name, histogram] : m.histograms()) {
+        putString(out, name);
+        putHistogram(out, histogram);
+    }
+    putU64(out, m.annotations().size());
+    for (const auto &[name, value] : m.annotations()) {
+        putString(out, name);
+        putString(out, value);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding primitives: a cursor over the record with bounds-checked
+// reads. Every helper returns false on truncation; decode bails with a
+// diagnostic rather than assert because manifests are external input.
+
+struct Reader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    bool
+    getRaw(void *out, std::size_t n)
+    {
+        if (size - pos < n)
+            return false;
+        std::memcpy(out, data + pos, n);
+        pos += n;
+        return true;
+    }
+
+    bool getU32(std::uint32_t &v) { return getRaw(&v, sizeof v); }
+
+    bool getU64(std::uint64_t &v) { return getRaw(&v, sizeof v); }
+
+    bool
+    getDouble(double &v)
+    {
+        std::uint64_t bits = 0;
+        if (!getU64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof v);
+        return true;
+    }
+
+    bool
+    getString(std::string &s)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n) || size - pos < n)
+            return false;
+        s.assign(reinterpret_cast<const char *>(data + pos),
+                 static_cast<std::size_t>(n));
+        pos += static_cast<std::size_t>(n);
+        return true;
+    }
+
+    bool
+    getBytes(std::vector<std::uint8_t> &b)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n) || size - pos < n)
+            return false;
+        b.assign(data + pos, data + pos + n);
+        pos += static_cast<std::size_t>(n);
+        return true;
+    }
+
+    bool
+    getU64Vec(std::vector<std::uint64_t> &v)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n) || n > (size - pos) / sizeof(std::uint64_t))
+            return false;
+        v.resize(static_cast<std::size_t>(n));
+        for (auto &x : v)
+            if (!getU64(x))
+                return false;
+        return true;
+    }
+
+    bool
+    getDoubleVec(std::vector<double> &v)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n) || n > (size - pos) / sizeof(double))
+            return false;
+        v.resize(static_cast<std::size_t>(n));
+        for (auto &x : v)
+            if (!getDouble(x))
+                return false;
+        return true;
+    }
+
+    bool
+    getHistogram(Histogram &out)
+    {
+        double binWidth = 0.0;
+        std::uint64_t numBins = 0;
+        double sum = 0.0;
+        std::uint64_t overflow = 0;
+        std::uint64_t nonzero = 0;
+        if (!getDouble(binWidth) || !getU64(numBins) ||
+            !getDouble(sum) || !getU64(overflow) || !getU64(nonzero))
+            return false;
+        if (!(binWidth > 0.0) || numBins == 0 || nonzero > numBins)
+            return false;
+        Histogram h(binWidth, static_cast<std::size_t>(numBins));
+        for (std::uint64_t i = 0; i < nonzero; ++i) {
+            std::uint64_t bin = 0;
+            std::uint64_t count = 0;
+            if (!getU64(bin) || !getU64(count))
+                return false;
+            if (bin >= numBins || count == 0)
+                return false;
+            h.restoreBin(static_cast<std::size_t>(bin), count);
+        }
+        if (overflow != 0)
+            h.restoreOverflow(overflow);
+        h.restoreSum(sum);
+        out = h;
+        return true;
+    }
+
+    bool
+    getRegistry(MetricsRegistry &m)
+    {
+        std::uint64_t n = 0;
+        if (!getU64(n))
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name;
+            std::uint64_t value = 0;
+            if (!getString(name) || !getU64(value))
+                return false;
+            m.counter(name).add(value);
+        }
+        if (!getU64(n))
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name;
+            std::uint64_t count = 0;
+            double sum = 0.0;
+            double min = 0.0;
+            double max = 0.0;
+            if (!getString(name) || !getU64(count) || !getDouble(sum) ||
+                !getDouble(min) || !getDouble(max))
+                return false;
+            Gauge &gauge = m.gauge(name);
+            // An empty gauge's min/max are +/-inf sentinels; replaying
+            // them through mergeSummary would corrupt them, so only
+            // non-empty gauges carry samples back in.
+            if (count > 0)
+                gauge.mergeSummary(count, sum, min, max);
+        }
+        if (!getU64(n))
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name;
+            Histogram h(1.0, 1);
+            if (!getString(name) || !getHistogram(h))
+                return false;
+            m.histogram(name, h.binWidth(), h.numBins()) = h;
+        }
+        if (!getU64(n))
+            return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::string name;
+            std::string value;
+            if (!getString(name) || !getString(value))
+                return false;
+            m.setAnnotation(name, value);
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeScenarioResult(const ScenarioResult &result)
+{
+    std::vector<std::uint8_t> out;
+    putU32(out, kMagic);
+    putU32(out, kResultCodecVersion);
+    putString(out, result.protocolName);
+    putString(out, result.spec);
+    putU32(out, static_cast<std::uint32_t>(result.numAgents));
+    putDouble(out, result.confidence);
+    putDouble(out, result.elapsedMs);
+
+    putU64(out, result.batches.size());
+    for (const BatchStats &b : result.batches) {
+        putDouble(out, b.duration);
+        putU64Vec(out, b.completions);
+        putDouble(out, b.waitMean);
+        putDouble(out, b.waitStddev);
+        putDoubleVec(out, b.productive);
+        putDoubleVec(out, b.cycle);
+        putDoubleVec(out, b.waitSum);
+        putDoubleVec(out, b.overlapSum);
+        putDouble(out, b.utilization);
+        putU64(out, b.passes);
+        putU64(out, b.retryPasses);
+    }
+
+    putHistogram(out, result.waitHistogram);
+    putU64(out, result.agentWaitHistograms.size());
+    for (const Histogram &h : result.agentWaitHistograms)
+        putHistogram(out, h);
+
+    putBytes(out, result.binaryTrace);
+    putRegistry(out, result.metrics);
+    putString(out, result.fairnessSnapshots);
+    putString(out, result.healthSnapshots);
+
+    const RunHealthReport &h = result.health;
+    putU32(out, h.enabled ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(h.verdict));
+    putU64(out, h.batches);
+    putDouble(out, h.wait.value);
+    putDouble(out, h.wait.halfWidth);
+    putDouble(out, h.waitRelHalfWidth);
+    putDouble(out, h.waitLag1);
+    putU64(out, h.waitMserCut);
+    putDoubleVec(out, h.waitRelHwTrajectory);
+    putDouble(out, h.utilRelHalfWidth);
+    putDouble(out, h.utilLag1);
+    return out;
+}
+
+bool
+decodeScenarioResult(const std::uint8_t *data, std::size_t size,
+                     ScenarioResult &out, std::string &error)
+{
+    Reader r{data, size};
+    const auto fail = [&error](const char *what) {
+        error = what;
+        return false;
+    };
+
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (!r.getU32(magic) || !r.getU32(version))
+        return fail("truncated record header");
+    if (magic != kMagic)
+        return fail("bad record magic");
+    if (version != kResultCodecVersion)
+        return fail("record version mismatch");
+
+    ScenarioResult result;
+    std::uint32_t numAgents = 0;
+    if (!r.getString(result.protocolName) || !r.getString(result.spec) ||
+        !r.getU32(numAgents) || !r.getDouble(result.confidence) ||
+        !r.getDouble(result.elapsedMs))
+        return fail("truncated scenario header");
+    result.numAgents = static_cast<int>(numAgents);
+
+    std::uint64_t numBatches = 0;
+    if (!r.getU64(numBatches))
+        return fail("truncated batch count");
+    result.batches.reserve(static_cast<std::size_t>(
+        numBatches < 4096 ? numBatches : 4096));
+    for (std::uint64_t i = 0; i < numBatches; ++i) {
+        BatchStats b;
+        if (!r.getDouble(b.duration) || !r.getU64Vec(b.completions) ||
+            !r.getDouble(b.waitMean) || !r.getDouble(b.waitStddev) ||
+            !r.getDoubleVec(b.productive) || !r.getDoubleVec(b.cycle) ||
+            !r.getDoubleVec(b.waitSum) || !r.getDoubleVec(b.overlapSum) ||
+            !r.getDouble(b.utilization) || !r.getU64(b.passes) ||
+            !r.getU64(b.retryPasses))
+            return fail("truncated batch record");
+        result.batches.push_back(std::move(b));
+    }
+
+    if (!r.getHistogram(result.waitHistogram))
+        return fail("bad waiting-time histogram");
+    std::uint64_t numAgentHists = 0;
+    if (!r.getU64(numAgentHists))
+        return fail("truncated agent histogram count");
+    for (std::uint64_t i = 0; i < numAgentHists; ++i) {
+        Histogram h(1.0, 1);
+        if (!r.getHistogram(h))
+            return fail("bad per-agent histogram");
+        result.agentWaitHistograms.push_back(std::move(h));
+    }
+
+    if (!r.getBytes(result.binaryTrace))
+        return fail("truncated binary trace");
+    if (!r.getRegistry(result.metrics))
+        return fail("bad metrics registry");
+    if (!r.getString(result.fairnessSnapshots) ||
+        !r.getString(result.healthSnapshots))
+        return fail("truncated snapshot text");
+
+    std::uint32_t enabled = 0;
+    std::uint32_t verdict = 0;
+    std::uint64_t healthBatches = 0;
+    std::uint64_t mserCut = 0;
+    RunHealthReport &h = result.health;
+    if (!r.getU32(enabled) || !r.getU32(verdict) ||
+        !r.getU64(healthBatches) || !r.getDouble(h.wait.value) ||
+        !r.getDouble(h.wait.halfWidth) ||
+        !r.getDouble(h.waitRelHalfWidth) || !r.getDouble(h.waitLag1) ||
+        !r.getU64(mserCut) || !r.getDoubleVec(h.waitRelHwTrajectory) ||
+        !r.getDouble(h.utilRelHalfWidth) || !r.getDouble(h.utilLag1))
+        return fail("truncated health report");
+    if (enabled > 1)
+        return fail("bad health-enabled flag");
+    if (verdict >
+        static_cast<std::uint32_t>(
+            ConvergenceVerdict::kTransientContaminated))
+        return fail("bad health verdict");
+    h.enabled = enabled != 0;
+    h.verdict = static_cast<ConvergenceVerdict>(verdict);
+    h.batches = static_cast<std::size_t>(healthBatches);
+    h.waitMserCut = static_cast<std::size_t>(mserCut);
+
+    if (r.pos != r.size)
+        return fail("trailing bytes after record");
+    out = std::move(result);
+    error.clear();
+    return true;
+}
+
+} // namespace busarb

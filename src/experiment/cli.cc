@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include <sys/stat.h>
+
 #include "sim/logging.hh"
 
 namespace busarb {
@@ -61,6 +63,25 @@ parseDoubleListOrExit(const std::string &program, const std::string &flag,
         values.push_back(parseDoubleTokenOrExit(program, flag, token));
     }
     return values;
+}
+
+void
+requireParentDirOrExit(const std::string &program,
+                       const std::string &flag, const std::string &path)
+{
+    if (path.empty())
+        return;
+    const auto slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return; // relative to the working directory, which exists
+    const std::string dir = slash == 0 ? "/" : path.substr(0, slash);
+    struct stat st{};
+    if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        std::cerr << program << ": --" << flag << ": directory '" << dir
+                  << "' does not exist (cannot write '" << path
+                  << "')\n";
+        std::exit(2);
+    }
 }
 
 ArgParser::ArgParser(std::string program, std::string summary)

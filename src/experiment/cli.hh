@@ -67,6 +67,27 @@ std::vector<double> parseDoubleListOrExit(const std::string &program,
                                           const std::string &text);
 
 /**
+ * Validate an output path's parent directory up front, exiting on
+ * failure.
+ *
+ * Artifact flags (--metrics-out, --trace-out, --snapshot-out, ...)
+ * that point into a missing directory used to fail with a bare stream
+ * error after the whole run had already completed. This check runs
+ * before any simulation: if the path names a parent directory that
+ * does not exist (or is not a directory), it reports
+ * `program: --flag: directory 'dir' does not exist (cannot write
+ * 'path')` on stderr and exits with status 2, the CLI usage-error
+ * convention. An empty path (flag unset) passes.
+ *
+ * @param program Program name for the error message.
+ * @param flag Flag name (without dashes) for the error message.
+ * @param path The output path to validate.
+ */
+void requireParentDirOrExit(const std::string &program,
+                            const std::string &flag,
+                            const std::string &path);
+
+/**
  * Declarative command-line parser.
  *
  * Declare flags with add*Flag, then parse(). Unknown flags and type

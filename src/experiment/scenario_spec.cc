@@ -163,6 +163,28 @@ ScenarioSpec::format() const
     return os.str();
 }
 
+std::size_t
+ScenarioSpec::cellCount() const
+{
+    return loadTokens.size() * protocolSpecs.size();
+}
+
+const std::string &
+ScenarioSpec::cellLoadToken(std::size_t index) const
+{
+    BUSARB_ASSERT(index < cellCount(), "cell index ", index,
+                  " out of range (", cellCount(), " cells)");
+    return loadTokens[index / protocolSpecs.size()];
+}
+
+const std::string &
+ScenarioSpec::cellProtocolSpec(std::size_t index) const
+{
+    BUSARB_ASSERT(index < cellCount(), "cell index ", index,
+                  " out of range (", cellCount(), " cells)");
+    return protocolSpecs[index % protocolSpecs.size()];
+}
+
 ScenarioConfig
 ScenarioSpec::configForLoad(const std::string &load_token) const
 {

@@ -99,6 +99,24 @@ struct ScenarioSpec
     std::string format() const;
 
     /**
+     * Number of grid cells this spec expands to: one per load x
+     * protocol pair, in row-emission order (loads outer, protocols
+     * inner). This is the canonical cell enumeration every consumer —
+     * the in-process sweep, the shard planner, the worker processes,
+     * and the merge stage — must agree on; a cell's global index is
+     * its identity in checkpoint manifests.
+     *
+     * @return loadTokens.size() * protocolSpecs.size().
+     */
+    std::size_t cellCount() const;
+
+    /** @return The load token of grid cell `index` (loads-outer order). */
+    const std::string &cellLoadToken(std::size_t index) const;
+
+    /** @return The protocol spec of grid cell `index`. */
+    const std::string &cellProtocolSpec(std::size_t index) const;
+
+    /**
      * Expand one grid cell into a full ScenarioConfig. This is the one
      * code path that turns declarative inputs into runner configs —
      * for files and flags alike.

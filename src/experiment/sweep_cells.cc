@@ -1,0 +1,72 @@
+#include "experiment/sweep_cells.hh"
+
+#include <sstream>
+
+#include "experiment/cli.hh"
+#include "experiment/protocol_registry.hh"
+#include "obs/export_format.hh"
+
+namespace busarb {
+
+std::string
+SweepTuning::canonicalKey() const
+{
+    // Every knob with an observable effect on a cell's artifacts, in a
+    // fixed order with locale-independent formatting. The queue policy
+    // is excluded on purpose: it is pinned unobservable (see
+    // docs/KERNEL.md), so resuming a sweep under the other policy must
+    // not invalidate its checkpoints.
+    std::ostringstream os;
+    os << "trace=" << (captureTrace ? 1 : 0)
+       << ";fairness=" << (fairness ? 1 : 0)
+       << ";fairness-window=" << formatDouble(fairnessWindow)
+       << ";bypass-bound=" << bypassBound
+       << ";health=" << (health ? 1 : 0)
+       << ";health-rel-hw=" << formatDouble(healthRelHw)
+       << ";health-lag1=" << formatDouble(healthLag1)
+       << ";snapshot-every=" << formatDouble(snapshotEvery)
+       << ";health-snapshots=" << (healthSnapshots ? 1 : 0);
+    return os.str();
+}
+
+ScenarioConfig
+sweepCellConfig(const ScenarioSpec &spec, const SweepTuning &tuning,
+                const std::string &program, std::size_t cell)
+{
+    const std::string &token = spec.cellLoadToken(cell);
+    parseDoubleTokenOrExit(program, "loads", token);
+    ScenarioConfig config = spec.configForLoad(token);
+    config.captureBinaryTrace = tuning.captureTrace;
+    config.auditFairness = tuning.fairness;
+    config.fairnessWindowUnits = tuning.fairnessWindow;
+    config.bypassBound = tuning.bypassBound;
+    config.monitorHealth = tuning.health;
+    config.healthRelHwTarget = tuning.healthRelHw;
+    config.healthLag1Threshold = tuning.healthLag1;
+    config.snapshotEveryUnits = tuning.snapshotEvery;
+    config.healthSnapshots = tuning.healthSnapshots;
+    config.eventQueuePolicy = tuning.queuePolicy;
+    return config;
+}
+
+GridJob
+sweepCellJob(const ScenarioSpec &spec, const SweepTuning &tuning,
+             const std::string &program, std::size_t cell)
+{
+    const std::string &proto = spec.cellProtocolSpec(cell);
+    return {sweepCellConfig(spec, tuning, program, cell),
+            protocolFactoryOrExit(program, proto), proto};
+}
+
+std::vector<GridJob>
+buildSweepGrid(const ScenarioSpec &spec, const SweepTuning &tuning,
+               const std::string &program)
+{
+    std::vector<GridJob> grid;
+    grid.reserve(spec.cellCount());
+    for (std::size_t cell = 0; cell < spec.cellCount(); ++cell)
+        grid.push_back(sweepCellJob(spec, tuning, program, cell));
+    return grid;
+}
+
+} // namespace busarb

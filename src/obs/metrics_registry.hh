@@ -166,6 +166,29 @@ class MetricsRegistry
         return annotations_;
     }
 
+    /**
+     * Read-only views of the stored metrics, in name order. These
+     * exist for serializers (the shard checkpoint codec) that must
+     * capture every metric bit-exactly; exporters should prefer
+     * writeCsv/writeJson.
+     */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** @return All gauges, in name order. */
+    const std::map<std::string, Gauge> &gauges() const
+    {
+        return gauges_;
+    }
+
+    /** @return All histograms, in name order. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
     /** @return True when no metric or annotation has been created. */
     bool empty() const;
 

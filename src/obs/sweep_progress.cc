@@ -1,0 +1,65 @@
+#include "obs/sweep_progress.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+EtaEstimator::EtaEstimator(double alpha) : alpha_(alpha)
+{
+    BUSARB_ASSERT(alpha > 0.0 && alpha <= 1.0,
+                  "EtaEstimator alpha must be in (0, 1], got ", alpha);
+}
+
+void
+EtaEstimator::start(double now_seconds)
+{
+    lastTime_ = now_seconds;
+    lastDone_ = 0;
+    ewma_ = 0.0;
+    primed_ = false;
+}
+
+void
+EtaEstimator::onProgress(double now_seconds, std::size_t done)
+{
+    if (done <= lastDone_)
+        return;
+    const std::size_t delta = done - lastDone_;
+    double dt = now_seconds - lastTime_;
+    if (dt < 0.0)
+        dt = 0.0;
+    // When several cells complete between observations (one manifest
+    // poll seeing a burst), spread the interval across them so the
+    // per-cell average stays unbiased.
+    const double per_cell = dt / static_cast<double>(delta);
+    if (!primed_) {
+        ewma_ = per_cell;
+        primed_ = true;
+    } else {
+        // Weight the new observation once per completed cell so a
+        // burst of k cells moves the average as far as k single
+        // completions would.
+        for (std::size_t i = 0; i < delta; ++i)
+            ewma_ = alpha_ * per_cell + (1.0 - alpha_) * ewma_;
+    }
+    lastTime_ = now_seconds;
+    lastDone_ = done;
+}
+
+double
+EtaEstimator::cellsPerSecond() const
+{
+    if (!primed_ || ewma_ <= 0.0)
+        return 0.0;
+    return 1.0 / ewma_;
+}
+
+double
+EtaEstimator::etaSeconds(std::size_t remaining) const
+{
+    if (!primed_)
+        return 0.0;
+    return ewma_ * static_cast<double>(remaining);
+}
+
+} // namespace busarb

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Progress and ETA estimation for sweeps and worker fleets.
+ *
+ * The original --progress ETA assumed every grid cell costs the same
+ * (eta = elapsed * remaining / done). On mixed-load grids that is
+ * wildly wrong: cells at load 7.5 can run an order of magnitude longer
+ * than cells at load 0.25, so the uniform-cost estimate whipsaws as
+ * the sweep crosses the load axis. EtaEstimator instead tracks an
+ * exponentially weighted moving average of the *recent* per-cell
+ * completion time, so the ETA converges to the cost of the cells that
+ * are actually still running.
+ *
+ * The estimator is deliberately host-time based and lives entirely on
+ * the progress/stderr side: nothing here may ever feed back into the
+ * simulation or into a deterministic artifact.
+ */
+
+#ifndef BUSARB_OBS_SWEEP_PROGRESS_HH
+#define BUSARB_OBS_SWEEP_PROGRESS_HH
+
+#include <cstddef>
+
+namespace busarb {
+
+/**
+ * Streaming EWMA estimator of per-cell completion time.
+ *
+ * Feed it the cumulative completion count at each progress event; it
+ * smooths the observed inter-completion times and projects the
+ * remaining work at the recent rate. With parallel workers the
+ * aggregate completion stream already reflects fleet concurrency, so
+ * no separate worker-count correction is needed.
+ */
+class EtaEstimator
+{
+  public:
+    /**
+     * @param alpha EWMA weight of the newest observation, in (0, 1].
+     *        Larger tracks load changes faster; smaller smooths more.
+     */
+    explicit EtaEstimator(double alpha = 0.25);
+
+    /**
+     * Mark the start of the run.
+     *
+     * @param now_seconds Host clock at start (any monotonic origin).
+     */
+    void start(double now_seconds);
+
+    /**
+     * Record a progress event.
+     *
+     * @param now_seconds Host clock now (same origin as start()).
+     * @param done Cumulative cells completed so far; events with no
+     *        new completions are ignored.
+     */
+    void onProgress(double now_seconds, std::size_t done);
+
+    /** @return True once at least one completion has been observed. */
+    bool primed() const { return primed_; }
+
+    /** @return Smoothed seconds per cell (0 until primed). */
+    double secondsPerCell() const { return primed_ ? ewma_ : 0.0; }
+
+    /** @return Smoothed completion rate in cells/second (0 until primed). */
+    double cellsPerSecond() const;
+
+    /**
+     * @param remaining Cells left to run.
+     * @return Projected seconds to completion at the recent rate; 0
+     *         until primed.
+     */
+    double etaSeconds(std::size_t remaining) const;
+
+  private:
+    double alpha_;
+    double lastTime_ = 0.0;
+    std::size_t lastDone_ = 0;
+    double ewma_ = 0.0;
+    bool primed_ = false;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_OBS_SWEEP_PROGRESS_HH

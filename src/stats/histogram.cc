@@ -147,4 +147,26 @@ Histogram::expectedExcess(double v) const
     return acc / static_cast<double>(total_);
 }
 
+void
+Histogram::restoreBin(std::size_t i, std::uint64_t count)
+{
+    BUSARB_ASSERT(i < bins_.size(), "restoreBin index ", i,
+                  " out of range (", bins_.size(), " bins)");
+    bins_[i] += count;
+    total_ += count;
+}
+
+void
+Histogram::restoreOverflow(std::uint64_t count)
+{
+    overflow_ += count;
+    total_ += count;
+}
+
+void
+Histogram::restoreSum(double sum)
+{
+    sum_ += sum;
+}
+
 } // namespace busarb

@@ -108,6 +108,24 @@ class Histogram
      */
     double expectedExcess(double v) const;
 
+    /**
+     * Restore `count` serialized observations into bin `i` without
+     * going through add(). Together with restoreOverflow and
+     * restoreSum this reconstructs a histogram bit-exactly from its
+     * serialized state (bin counts, overflow count, exact sum) — the
+     * checkpoint/resume codec depends on the round trip being exact.
+     *
+     * @param i Bin index; must be < numBins().
+     * @param count Observations to add to the bin.
+     */
+    void restoreBin(std::size_t i, std::uint64_t count);
+
+    /** Restore `count` serialized observations into the overflow bucket. */
+    void restoreOverflow(std::uint64_t count);
+
+    /** Restore the exact observation sum (added to the current sum). */
+    void restoreSum(double sum);
+
   private:
     double binWidth_;
     std::vector<std::uint64_t> bins_;

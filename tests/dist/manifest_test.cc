@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Checkpoint manifest tests: the durable write/read round trip, the
+ * torn-tail crash contract, and rejection of every corruption class
+ * (bad checksum, version mismatch, fingerprint mismatch, conflicting
+ * duplicates, out-of-range cells).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dist/manifest.hh"
+#include "dist/shard_plan.hh"
+
+namespace busarb {
+namespace {
+
+class ManifestTest : public ::testing::Test
+{
+  protected:
+    std::string
+    path() const
+    {
+        return ::testing::TempDir() + "manifest_test_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".jsonl";
+    }
+
+    void SetUp() override { std::remove(path().c_str()); }
+    void TearDown() override { std::remove(path().c_str()); }
+
+    std::string
+    fileText() const
+    {
+        std::ifstream in(path(), std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+
+    void
+    writeText(const std::string &text) const
+    {
+        std::ofstream out(path(), std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    const ManifestHeader header_{0x0123456789abcdefULL, 2, 10, 14};
+};
+
+std::vector<std::uint8_t>
+record(std::uint8_t seed)
+{
+    std::vector<std::uint8_t> bytes;
+    for (int i = 0; i < 40; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(seed + i));
+    return bytes;
+}
+
+TEST_F(ManifestTest, HexRoundTrip)
+{
+    const auto bytes = record(7);
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(hexDecode(hexEncode(bytes), back));
+    EXPECT_EQ(back, bytes);
+
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(hexDecode("abc", out));  // odd length
+    EXPECT_FALSE(hexDecode("zz", out));   // non-hex
+    EXPECT_FALSE(hexDecode("AB", out));   // uppercase
+    ASSERT_TRUE(hexDecode("", out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_F(ManifestTest, MissingFileReportsMissing)
+{
+    ManifestContents contents;
+    std::string error;
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kMissing);
+}
+
+TEST_F(ManifestTest, WriteReadRoundTrip)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    ASSERT_TRUE(writer.appendCell(10, record(1), error)) << error;
+    ASSERT_TRUE(writer.appendCell(12, record(2), error)) << error;
+    writer.close();
+
+    ManifestContents contents;
+    ASSERT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kOk)
+        << error;
+    EXPECT_FALSE(contents.tornTail);
+    EXPECT_EQ(contents.header.fingerprint, header_.fingerprint);
+    ASSERT_EQ(contents.cells.size(), 2u);
+    EXPECT_EQ(contents.cells.at(10), record(1));
+    EXPECT_EQ(contents.cells.at(12), record(2));
+    EXPECT_EQ(contents.validBytes, fileText().size());
+}
+
+TEST_F(ManifestTest, TornTailIsDroppedAndTruncatedOnResume)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    ASSERT_TRUE(writer.appendCell(10, record(1), error)) << error;
+    writer.close();
+
+    // Simulate a mid-write SIGKILL: a second cell line without its
+    // trailing newline.
+    const std::string intact = fileText();
+    {
+        std::ofstream out(path(),
+                          std::ios::binary | std::ios::app);
+        out << "{\"cell\":11,\"check\":\"0000";
+    }
+
+    ManifestContents contents;
+    ASSERT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kOk)
+        << error;
+    EXPECT_TRUE(contents.tornTail);
+    ASSERT_EQ(contents.cells.size(), 1u);
+    EXPECT_EQ(contents.validBytes, intact.size());
+
+    // Resuming truncates the torn tail before appending, so the file
+    // ends up indistinguishable from a clean two-cell run.
+    ASSERT_TRUE(
+        writer.open(path(), header_, contents.validBytes, error))
+        << error;
+    ASSERT_TRUE(writer.appendCell(11, record(3), error)) << error;
+    writer.close();
+    ManifestContents after;
+    ASSERT_EQ(readManifest(path(), header_, after, error),
+              ManifestReadStatus::kOk)
+        << error;
+    EXPECT_FALSE(after.tornTail);
+    ASSERT_EQ(after.cells.size(), 2u);
+    EXPECT_EQ(after.cells.at(11), record(3));
+}
+
+TEST_F(ManifestTest, TornHeaderMeansFreshManifest)
+{
+    writeText("{\"kind\":\"busarb-shard-man"); // killed mid-header
+    ManifestContents contents;
+    std::string error;
+    ASSERT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kOk)
+        << error;
+    EXPECT_TRUE(contents.tornTail);
+    EXPECT_EQ(contents.validBytes, 0u);
+    EXPECT_TRUE(contents.cells.empty());
+}
+
+TEST_F(ManifestTest, IdenticalDuplicateAcceptedConflictRejected)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    ASSERT_TRUE(writer.appendCell(10, record(1), error)) << error;
+    ASSERT_TRUE(writer.appendCell(10, record(1), error)) << error;
+    writer.close();
+
+    ManifestContents contents;
+    ASSERT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kOk)
+        << error;
+    EXPECT_EQ(contents.cells.size(), 1u);
+
+    ASSERT_TRUE(
+        writer.open(path(), header_, contents.validBytes, error));
+    ASSERT_TRUE(writer.appendCell(10, record(9), error));
+    writer.close();
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("conflicting"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, ChecksumFlipIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    ASSERT_TRUE(writer.appendCell(10, record(1), error)) << error;
+    writer.close();
+
+    std::string text = fileText();
+    const std::size_t data = text.find("\"data\":\"");
+    ASSERT_NE(data, std::string::npos);
+    // Flip one hex digit of the payload without touching the length.
+    text[data + 8] = text[data + 8] == '0' ? '1' : '0';
+    writeText(text);
+
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, VersionMismatchIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    writer.close();
+
+    std::string text = fileText();
+    const std::size_t version = text.find("\"version\":1");
+    ASSERT_NE(version, std::string::npos);
+    text.replace(version, 11, "\"version\":9");
+    writeText(text);
+
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, FingerprintMismatchIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    writer.close();
+
+    ManifestHeader other = header_;
+    other.fingerprint ^= 1;
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), other, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, ShardRangeMismatchIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    writer.close();
+
+    ManifestHeader other = header_;
+    other.end = 15;
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), other, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("range"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, CellOutsideRangeIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    ASSERT_TRUE(writer.appendCell(99, record(1), error)) << error;
+    writer.close();
+
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kCorrupt);
+    EXPECT_NE(error.find("outside"), std::string::npos) << error;
+}
+
+TEST_F(ManifestTest, GarbageLineIsCorrupt)
+{
+    ManifestWriter writer;
+    std::string error;
+    ASSERT_TRUE(writer.open(path(), header_, 0, error)) << error;
+    writer.close();
+    {
+        std::ofstream out(path(), std::ios::binary | std::ios::app);
+        out << "not json at all\n";
+    }
+    ManifestContents contents;
+    EXPECT_EQ(readManifest(path(), header_, contents, error),
+              ManifestReadStatus::kCorrupt);
+}
+
+} // namespace
+} // namespace busarb

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shard planner and fingerprint tests: coverage, balance, determinism,
+ * and the hex round trip the manifests rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dist/shard_plan.hh"
+
+namespace busarb {
+namespace {
+
+TEST(ShardPlan, CoversEveryCellExactlyOnce)
+{
+    for (std::size_t cells : {1u, 2u, 7u, 16u, 40u, 101u}) {
+        for (std::size_t shards : {1u, 2u, 3u, 5u, 16u}) {
+            const auto plan = planShards(cells, shards);
+            std::size_t next = 0;
+            for (const ShardRange &r : plan) {
+                EXPECT_EQ(r.begin, next);
+                EXPECT_GT(r.end, r.begin) << "empty shard";
+                next = r.end;
+            }
+            EXPECT_EQ(next, cells);
+        }
+    }
+}
+
+TEST(ShardPlan, BalancesWithinOneCell)
+{
+    const auto plan = planShards(10, 4);
+    ASSERT_EQ(plan.size(), 4u);
+    // 10 = 3 + 3 + 2 + 2: the first (cells % shards) ranges get the
+    // extra cell.
+    EXPECT_EQ(plan[0].size(), 3u);
+    EXPECT_EQ(plan[1].size(), 3u);
+    EXPECT_EQ(plan[2].size(), 2u);
+    EXPECT_EQ(plan[3].size(), 2u);
+}
+
+TEST(ShardPlan, ClampsShardsToCells)
+{
+    const auto plan = planShards(3, 8);
+    ASSERT_EQ(plan.size(), 3u);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        EXPECT_EQ(plan[i].index, i);
+        EXPECT_EQ(plan[i].size(), 1u);
+    }
+}
+
+TEST(ShardPlan, IndicesMatchPositions)
+{
+    const auto plan = planShards(9, 3);
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        EXPECT_EQ(plan[i].index, i);
+}
+
+TEST(SweepFingerprint, SeparatesScenarioFromTuning)
+{
+    // The field separator keeps ("ab", "c") and ("a", "bc") apart.
+    EXPECT_NE(sweepFingerprint("ab", "c"), sweepFingerprint("a", "bc"));
+    EXPECT_NE(sweepFingerprint("", "x"), sweepFingerprint("x", ""));
+}
+
+TEST(SweepFingerprint, DeterministicAndSensitive)
+{
+    const std::uint64_t base = sweepFingerprint("scenario", "tuning");
+    EXPECT_EQ(base, sweepFingerprint("scenario", "tuning"));
+    EXPECT_NE(base, sweepFingerprint("scenario2", "tuning"));
+    EXPECT_NE(base, sweepFingerprint("scenario", "tuning2"));
+}
+
+TEST(SweepFingerprint, HexRoundTrip)
+{
+    for (const std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xdeadbeef},
+          ~std::uint64_t{0}, sweepFingerprint("a", "b")}) {
+        const std::string hex = fingerprintHex(v);
+        EXPECT_EQ(hex.size(), 16u);
+        std::uint64_t back = 0;
+        ASSERT_TRUE(parseFingerprintHex(hex, back)) << hex;
+        EXPECT_EQ(back, v);
+    }
+}
+
+TEST(SweepFingerprint, HexParseRejectsMalformed)
+{
+    std::uint64_t out = 0;
+    EXPECT_FALSE(parseFingerprintHex("", out));
+    EXPECT_FALSE(parseFingerprintHex("0123456789abcde", out));   // 15
+    EXPECT_FALSE(parseFingerprintHex("0123456789abcdef0", out)); // 17
+    EXPECT_FALSE(parseFingerprintHex("0123456789ABCDEF", out));  // upper
+    EXPECT_FALSE(parseFingerprintHex("0123456789abcdeg", out));
+}
+
+TEST(ShardPaths, StableNaming)
+{
+    EXPECT_EQ(gridSpecPath("dir"), "dir/grid.spec");
+    EXPECT_EQ(shardFilePath("dir", 0), "dir/shard-0000.shard");
+    EXPECT_EQ(shardManifestPath("dir", 12),
+              "dir/shard-0012.manifest.jsonl");
+    EXPECT_EQ(shardFilePath("dir", 12345), "dir/shard-12345.shard");
+}
+
+} // namespace
+} // namespace busarb

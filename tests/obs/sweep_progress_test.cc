@@ -1,0 +1,106 @@
+/**
+ * @file
+ * EtaEstimator tests: EWMA math, priming, burst handling, and the
+ * regression/no-progress guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/sweep_progress.hh"
+
+namespace busarb {
+namespace {
+
+TEST(EtaEstimator, UnprimedReportsZeros)
+{
+    EtaEstimator eta(0.25);
+    eta.start(100.0);
+    EXPECT_FALSE(eta.primed());
+    EXPECT_EQ(eta.secondsPerCell(), 0.0);
+    EXPECT_EQ(eta.cellsPerSecond(), 0.0);
+    EXPECT_EQ(eta.etaSeconds(50), 0.0);
+}
+
+TEST(EtaEstimator, FirstCompletionSeedsTheAverage)
+{
+    EtaEstimator eta(0.25);
+    eta.start(10.0);
+    eta.onProgress(12.0, 1); // 2 s for the first cell
+    EXPECT_TRUE(eta.primed());
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 2.0);
+    EXPECT_DOUBLE_EQ(eta.cellsPerSecond(), 0.5);
+    EXPECT_DOUBLE_EQ(eta.etaSeconds(10), 20.0);
+}
+
+TEST(EtaEstimator, EwmaTracksTheRecentRate)
+{
+    EtaEstimator eta(0.25);
+    eta.start(0.0);
+    eta.onProgress(2.0, 1); // ewma = 2
+    eta.onProgress(6.0, 2); // ewma = 0.25*4 + 0.75*2 = 2.5
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 2.5);
+    eta.onProgress(7.0, 3); // ewma = 0.25*1 + 0.75*2.5 = 2.125
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 2.125);
+    EXPECT_DOUBLE_EQ(eta.etaSeconds(4), 8.5);
+}
+
+TEST(EtaEstimator, BurstSpreadsIntervalAndWeightsPerCell)
+{
+    EtaEstimator eta(0.5);
+    eta.start(0.0);
+    eta.onProgress(4.0, 1); // ewma = 4
+    // Two cells complete in the next 2 s: per-cell 1 s, applied twice.
+    // ewma = 0.5*1 + 0.5*(0.5*1 + 0.5*4) = 1.75
+    eta.onProgress(6.0, 3);
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 1.75);
+}
+
+TEST(EtaEstimator, IgnoresEventsWithoutNewCompletions)
+{
+    EtaEstimator eta(0.25);
+    eta.start(0.0);
+    eta.onProgress(2.0, 1);
+    const double before = eta.secondsPerCell();
+    eta.onProgress(50.0, 1); // idle poll: no new completions
+    eta.onProgress(60.0, 0); // stale count must not underflow
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), before);
+    // Idle polls do not advance the reference time: the next interval
+    // is measured from the last completion.
+    eta.onProgress(51.0, 2);
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(),
+                     0.25 * 49.0 + 0.75 * before);
+}
+
+TEST(EtaEstimator, ClampsClockRegressionToZero)
+{
+    EtaEstimator eta(0.25);
+    eta.start(10.0);
+    eta.onProgress(12.0, 1);
+    eta.onProgress(11.0, 2); // clock went backwards: treat dt as 0
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 0.75 * 2.0);
+    EXPECT_GE(eta.etaSeconds(3), 0.0);
+}
+
+TEST(EtaEstimator, AlphaOneTracksInstantaneously)
+{
+    EtaEstimator eta(1.0);
+    eta.start(0.0);
+    eta.onProgress(5.0, 1);
+    eta.onProgress(6.0, 2);
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 1.0);
+}
+
+TEST(EtaEstimator, StartResetsState)
+{
+    EtaEstimator eta(0.25);
+    eta.start(0.0);
+    eta.onProgress(2.0, 1);
+    ASSERT_TRUE(eta.primed());
+    eta.start(100.0);
+    EXPECT_FALSE(eta.primed());
+    eta.onProgress(103.0, 1);
+    EXPECT_DOUBLE_EQ(eta.secondsPerCell(), 3.0);
+}
+
+} // namespace
+} // namespace busarb

@@ -64,6 +64,8 @@ main(int argc, char **argv)
         std::cerr << "busarb_report: --out is required\n";
         return 2;
     }
+    if (out_path != "-")
+        requireParentDirOrExit("busarb_report", "out", out_path);
     RunReportFormat format = RunReportFormat::kMarkdown;
     const std::string format_arg = parser.getString("format");
     if (format_arg == "html") {

@@ -125,6 +125,13 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Artifact destinations are validated before the run: a missing
+    // parent directory fails in seconds, not after the simulation.
+    for (const char *flag : {"batches-csv", "histogram-csv", "trace-out",
+                             "metrics-out", "snapshot-out"})
+        requireParentDirOrExit("busarb_sim", flag,
+                               parser.getString(flag));
+
     const ScenarioSpec spec = scenarioSpecFromFlags("busarb_sim", parser);
     if (spec.loadTokens.size() > 1) {
         std::cerr << "busarb_sim: scenario sweeps " << spec.loadTokens.size()

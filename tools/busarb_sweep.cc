@@ -17,8 +17,17 @@
  * which the comma-separated --protocols flag cannot express — and
  * expands through the same cell-assembly path, so a grid file
  * reproduces a flag invocation byte for byte.
+ *
+ * With --shards N (and a --shard-dir), the sweep becomes a
+ * multi-process fleet: the grid is partitioned into shards, worker
+ * processes (`busarb_sweep --worker-shard <task-file>`) checkpoint
+ * each finished cell durably, and the coordinator reassembles the
+ * results — every artifact byte-identical to the single-process run.
+ * A killed run (workers or coordinator) continues with --resume from
+ * whatever the checkpoints already hold. See docs/ORCHESTRATION.md.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <fstream>
@@ -27,14 +36,18 @@
 #include <string>
 #include <vector>
 
+#include "dist/dispatcher.hh"
+#include "dist/worker_protocol.hh"
 #include "experiment/cli.hh"
-#include "obs/metrics_registry.hh"
 #include "experiment/csv.hh"
 #include "experiment/job_pool.hh"
 #include "experiment/protocol_registry.hh"
 #include "experiment/runner.hh"
 #include "experiment/scenario_spec.hh"
+#include "experiment/sweep_cells.hh"
 #include "experiment/table.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/sweep_progress.hh"
 #include "workload/scenario.hh"
 
 namespace {
@@ -50,6 +63,14 @@ splitCsvList(const std::string &text)
             parts.push_back(token);
     }
     return parts;
+}
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 } // namespace
@@ -82,7 +103,8 @@ main(int argc, char **argv)
     parser.addIntFlag("jobs", 0,
                       "parallel scenario jobs (0 = one per hardware "
                       "thread, 1 = serial); any value produces "
-                      "identical output");
+                      "identical output. In fleet mode this is the "
+                      "per-worker thread count (default 1)");
     parser.addStringFlag("csv", "", "write CSV here instead of a table");
     parser.addStringFlag("trace-out", "",
                          "capture a binary event trace of every cell to "
@@ -94,6 +116,14 @@ main(int argc, char **argv)
                          "write per-cell wall-clock timing here (host "
                          "timing; varies run to run, so it is kept out "
                          "of the deterministic --csv file)");
+    parser.addStringFlag("snapshot-out", "",
+                         "write deterministic per-cell fairness/health "
+                         "snapshots (JSONL, byte-identical at any "
+                         "--jobs or --shards) to this file; requires "
+                         "--snapshot-every and/or --health");
+    parser.addDoubleFlag("snapshot-every", 0.0,
+                         "snapshot interval in simulated transaction "
+                         "units; requires --snapshot-out");
     parser.addBoolFlag("fairness", false,
                        "attach the fairness auditor to every cell; the "
                        "fairness.* measures land in --metrics-out");
@@ -119,9 +149,36 @@ main(int argc, char **argv)
                        "print a live progress/ETA line to stderr as grid "
                        "cells complete (stderr only, so stdout and every "
                        "artifact stay byte-identical)");
+    parser.addIntFlag("shards", 0,
+                      "partition the grid into this many shards and run "
+                      "them as worker processes (requires --shard-dir); "
+                      "0 or 1 = in-process");
+    parser.addStringFlag("shard-dir", "",
+                         "directory for shard task files and durable "
+                         "cell checkpoints (created if missing)");
+    parser.addIntFlag("fleet", 0,
+                      "max concurrent worker processes (0 = "
+                      "min(shards, hardware threads))");
+    parser.addIntFlag("retries", 2,
+                      "crash retries per shard before the sweep gives "
+                      "up (each retry resumes from the shard's "
+                      "checkpoints)");
+    parser.addBoolFlag("resume", false,
+                       "continue a sharded sweep from the checkpoints "
+                       "already in --shard-dir instead of refusing");
+    parser.addStringFlag("worker-shard", "",
+                         "internal: run one shard task file and "
+                         "checkpoint its cells (spawned by the "
+                         "coordinator; every other flag except --jobs "
+                         "is ignored)");
     addQueueFlag(parser);
     if (!parser.parse(argc, argv))
         return parser.exitCode();
+    if (!parser.getString("worker-shard").empty()) {
+        return runWorkerShard("busarb_sweep",
+                              parser.getString("worker-shard"),
+                              static_cast<int>(parser.getInt("jobs")));
+    }
     if (parser.getBool("list-protocols")) {
         ProtocolRegistry::builtin().printTable(std::cout);
         return 0;
@@ -130,6 +187,61 @@ main(int argc, char **argv)
     if (parser.getBool("fairness") &&
         parser.getDouble("fairness-window") <= 0.0) {
         std::cerr << "busarb_sweep: --fairness-window must be > 0\n";
+        return 2;
+    }
+
+    const bool health_strict = parser.getBool("health-strict");
+    const bool monitor_health =
+        parser.getBool("health") || health_strict;
+    const std::string snapshot_path = parser.getString("snapshot-out");
+    const double snapshot_every = parser.getDouble("snapshot-every");
+    if (snapshot_path.empty() && snapshot_every > 0.0) {
+        std::cerr << "busarb_sweep: --snapshot-every requires "
+                     "--snapshot-out\n";
+        return 2;
+    }
+    if (!snapshot_path.empty() && snapshot_every <= 0.0 &&
+        !monitor_health) {
+        std::cerr << "busarb_sweep: --snapshot-out requires "
+                     "--snapshot-every and/or --health\n";
+        return 2;
+    }
+
+    // Artifact destinations are validated before any cell runs: a
+    // missing parent directory fails in seconds, not after the sweep.
+    requireParentDirOrExit("busarb_sweep", "csv",
+                           parser.getString("csv"));
+    requireParentDirOrExit("busarb_sweep", "trace-out",
+                           parser.getString("trace-out"));
+    requireParentDirOrExit("busarb_sweep", "metrics-out",
+                           parser.getString("metrics-out"));
+    requireParentDirOrExit("busarb_sweep", "timing-csv",
+                           parser.getString("timing-csv"));
+    requireParentDirOrExit("busarb_sweep", "snapshot-out",
+                           snapshot_path);
+
+    const long shards_flag = parser.getInt("shards");
+    if (shards_flag < 0) {
+        std::cerr << "busarb_sweep: --shards must be >= 0\n";
+        return 2;
+    }
+    const bool sharded = shards_flag > 1;
+    if (sharded && parser.getString("shard-dir").empty()) {
+        std::cerr << "busarb_sweep: --shards needs --shard-dir for the "
+                     "task files and checkpoints\n";
+        return 2;
+    }
+    if (!sharded) {
+        for (const char *flag : {"shard-dir", "fleet", "resume"}) {
+            if (parser.wasSet(flag)) {
+                std::cerr << "busarb_sweep: --" << flag
+                          << " only makes sense with --shards >= 2\n";
+                return 2;
+            }
+        }
+    }
+    if (parser.getInt("retries") < 0) {
+        std::cerr << "busarb_sweep: --retries must be >= 0\n";
         return 2;
     }
 
@@ -190,9 +302,6 @@ main(int argc, char **argv)
         std::cerr << "busarb_sweep: duplicate load in --loads\n";
         return 2;
     }
-    const bool health_strict = parser.getBool("health-strict");
-    const bool monitor_health =
-        parser.getBool("health") || health_strict;
 
     std::ofstream file;
     std::ostream *csv = nullptr;
@@ -207,59 +316,87 @@ main(int argc, char **argv)
         writeSummaryCsvHeader(*csv);
     }
 
-    // One grid cell per load x protocol, in row-emission order.
-    std::vector<GridJob> grid;
-    grid.reserve(load_tokens.size() * protocol_keys.size());
-    for (const auto &token : load_tokens) {
-        parseDoubleTokenOrExit("busarb_sweep", "loads", token);
-        ScenarioConfig config = spec.configForLoad(token);
-        config.captureBinaryTrace =
-            !parser.getString("trace-out").empty();
-        config.auditFairness = parser.getBool("fairness");
-        config.fairnessWindowUnits = parser.getDouble("fairness-window");
-        config.bypassBound =
-            static_cast<int>(parser.getInt("bypass-bound"));
-        config.monitorHealth = monitor_health;
-        config.healthRelHwTarget = parser.getDouble("health-rel-hw");
-        config.healthLag1Threshold = parser.getDouble("health-lag1");
-        config.eventQueuePolicy =
-            queuePolicyOrExit("busarb_sweep", parser);
-        for (const auto &key : protocol_keys)
-            grid.push_back({config,
-                            protocolFactoryOrExit("busarb_sweep", key),
-                            key});
+    // Every knob that shapes a cell lives in one SweepTuning: the
+    // in-process path, the coordinator, and every worker derive their
+    // cells from it through the same sweep_cells.hh assembly, which is
+    // what keeps sharded artifacts byte-identical to this process's.
+    SweepTuning tuning;
+    tuning.captureTrace = !parser.getString("trace-out").empty();
+    tuning.fairness =
+        parser.getBool("fairness") || snapshot_every > 0.0;
+    tuning.fairnessWindow = parser.getDouble("fairness-window");
+    tuning.bypassBound =
+        static_cast<int>(parser.getInt("bypass-bound"));
+    tuning.health = monitor_health;
+    tuning.healthRelHw = parser.getDouble("health-rel-hw");
+    tuning.healthLag1 = parser.getDouble("health-lag1");
+    tuning.snapshotEvery = snapshot_every;
+    tuning.healthSnapshots = monitor_health && !snapshot_path.empty();
+    tuning.queuePolicy = queuePolicyOrExit("busarb_sweep", parser);
+    if (tuning.fairness && tuning.fairnessWindow <= 0.0) {
+        std::cerr << "busarb_sweep: --fairness-window must be > 0\n";
+        return 2;
     }
 
-    const int jobs =
-        resolveJobCount(static_cast<int>(parser.getInt("jobs")));
     const auto start = std::chrono::steady_clock::now();
+    std::vector<ScenarioResult> results;
+    int jobs = 0;
+    if (sharded) {
+        FleetOptions opts;
+        opts.program = "busarb_sweep";
+        opts.exePath = argv[0];
+        opts.shardDir = parser.getString("shard-dir");
+        opts.shards = static_cast<std::size_t>(shards_flag);
+        opts.fleet = static_cast<std::size_t>(
+            std::max(0L, parser.getInt("fleet")));
+        opts.retries = static_cast<int>(parser.getInt("retries"));
+        // Workers default to one thread each — the fleet is the
+        // parallelism — but an explicit --jobs passes through.
+        opts.workerJobs =
+            parser.wasSet("jobs")
+                ? static_cast<int>(parser.getInt("jobs"))
+                : 1;
+        opts.resume = parser.getBool("resume");
+        opts.progress = parser.getBool("progress");
+        results = runShardedSweep(spec, tuning, opts);
+        jobs = opts.workerJobs;
+    } else {
+        const std::vector<GridJob> grid =
+            buildSweepGrid(spec, tuning, "busarb_sweep");
+        jobs = resolveJobCount(static_cast<int>(parser.getInt("jobs")));
 
-    // The live progress line is stderr-only and host-timing based;
-    // stdout and every written artifact stay byte-identical with or
-    // without it, at any job count.
-    std::function<void(std::size_t, std::size_t)> on_progress;
-    if (parser.getBool("progress")) {
-        on_progress = [start](std::size_t done, std::size_t total) {
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-            const double eta =
-                done > 0 ? elapsed *
-                               static_cast<double>(total - done) /
-                               static_cast<double>(done)
-                         : 0.0;
-            std::cerr << "\rbusarb_sweep: " << done << "/" << total
-                      << " cells elapsed=" << formatFixed(elapsed, 1)
-                      << "s eta=" << formatFixed(eta, 1) << "s   ";
-            if (done == total)
-                std::cerr << "\n";
-            std::cerr.flush();
-        };
+        // The live progress line is stderr-only and host-timing based;
+        // stdout and every written artifact stay byte-identical with
+        // or without it, at any job count. The ETA smooths per-cell
+        // completion times (EWMA) instead of assuming uniform cost, so
+        // it tracks grids whose high-load cells run much longer.
+        std::function<void(std::size_t, std::size_t)> on_progress;
+        auto eta = std::make_shared<EtaEstimator>();
+        if (parser.getBool("progress")) {
+            eta->start(nowSeconds());
+            on_progress = [eta, start](std::size_t done,
+                                       std::size_t total) {
+                eta->onProgress(nowSeconds(), done);
+                const double elapsed =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                std::cerr << "\rbusarb_sweep: " << done << "/" << total
+                          << " cells elapsed="
+                          << formatFixed(elapsed, 1) << "s";
+                if (eta->primed())
+                    std::cerr << " eta="
+                              << formatFixed(
+                                     eta->etaSeconds(total - done), 1)
+                              << "s";
+                std::cerr << "   ";
+                if (done == total)
+                    std::cerr << "\n";
+                std::cerr.flush();
+            };
+        }
+        results = runScenarioGrid(grid, jobs, on_progress);
     }
-
-    const std::vector<ScenarioResult> results =
-        runScenarioGrid(grid, jobs, on_progress);
     const double elapsed_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
@@ -325,6 +462,35 @@ main(int argc, char **argv)
         std::cout << "wrote binary trace (" << results.size()
                   << " chunks) to " << parser.getString("trace-out")
                   << "\n";
+    }
+    if (!snapshot_path.empty()) {
+        // Per-cell snapshot streams (fairness first, then health)
+        // concatenated in cell order — byte-identical at any job or
+        // shard count.
+        std::ofstream out(snapshot_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "cannot write " << snapshot_path << "\n";
+            return 1;
+        }
+        std::size_t lines = 0;
+        const auto count_lines = [](const std::string &s) {
+            std::size_t n_lines = 0;
+            for (const char c : s)
+                if (c == '\n')
+                    ++n_lines;
+            return n_lines;
+        };
+        for (const auto &r : results) {
+            out << r.fairnessSnapshots << r.healthSnapshots;
+            lines += count_lines(r.fairnessSnapshots) +
+                     count_lines(r.healthSnapshots);
+        }
+        if (!out) {
+            std::cerr << "error writing " << snapshot_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << lines << " snapshot line(s) to "
+                  << snapshot_path << "\n";
     }
     if (!parser.getString("metrics-out").empty()) {
         // One prefix per grid cell, in row-emission order.

@@ -208,6 +208,11 @@ main(int argc, char **argv)
                      "`audit <file>` (see --help)\n";
         return 2;
     }
+    // Artifact destinations are validated before any decoding work.
+    for (const char *flag : {"perfetto", "events-csv", "latency-csv",
+                             "snapshot-out", "metrics-out"})
+        requireParentDirOrExit("busarb_trace", flag,
+                               parser.getString(flag));
     // Audit-only flags are meaningless (and silently misleading) on the
     // conversion path; reject them loudly instead.
     if (!audit) {
