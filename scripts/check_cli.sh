@@ -54,6 +54,9 @@ expect 0 "--help" "report --help" "$report" --help
 expect 0 "wrr" "sim --list-protocols" "$sim" --list-protocols
 expect 0 "rr1" "sim --list-protocols" "$sim" --list-protocols
 expect 0 "wrr" "sweep --list-protocols" "$sweep" --list-protocols
+expect 0 "onoff" "sim --list-workloads" "$sim" --list-workloads
+expect 0 "trace" "sim --list-workloads" "$sim" --list-workloads
+expect 0 "mmpp" "sweep --list-workloads" "$sweep" --list-workloads
 
 # Unknown flags exit 2 and name the flag, on every tool.
 expect 2 "no-such-flag" "sim unknown flag" "$sim" --no-such-flag
@@ -75,6 +78,34 @@ expect 2 "did you mean 'fcfs1'" "report protocol hint" \
 # busarb_trace without a mode or input is a usage error.
 expect 2 "" "trace without arguments" "$trace"
 
+# Malformed workload-source specs exit 2 naming the token, with
+# did-you-mean hints, on every tool that takes --source.
+expect 2 "did you mean 'open'" "sim workload hint" \
+    "$sim" --protocol rr1 --source opne
+expect 2 "did you mean 'rate'" "sim workload option hint" \
+    "$sim" --protocol rr1 --source open:rte=2
+expect 2 "did you mean 'closed'" "sweep workload hint" \
+    "$sweep" --protocols rr1 --source clsed
+expect 2 "did you mean 'onoff'" "report workload hint" \
+    "$report" --protocol rr1 --source onof --out "$tmp/report.md"
+
+# Loadless sources conflict with a load axis; doomed trace runs are
+# caught before any cell runs.
+expect 2 "requires file=" "sim trace without file" \
+    "$sim" --protocol rr1 --source trace
+expect 2 "conflicts with --source" "sim trace with --load" \
+    "$sim" --protocol rr1 --source "trace:file=$tmp/x.trace" --load 2
+expect 2 "conflicts with --source" "sweep trace with --loads" \
+    "$sweep" --protocols rr1 --source "trace:file=$tmp/x.trace" \
+    --loads 0.5
+expect 2 "cannot read" "sim missing trace file" \
+    "$sim" --protocol rr1 --agents 4 --batches 1 --batch-size 100 \
+    --warmup 0 --source "trace:file=$tmp/does-not-exist.trace"
+printf '0.5 1\n1.0 2\n' > "$tmp/short.trace"
+expect 2 "shorten the run" "sim short trace" \
+    "$sim" --protocol rr1 --agents 4 --batches 1 --batch-size 100 \
+    --warmup 0 --source "trace:file=$tmp/short.trace"
+
 # Scenario files: parse errors are line-numbered usage errors, and
 # workload flags conflict with --scenario.
 cat > "$tmp/bad.scenario" <<'EOF'
@@ -93,6 +124,12 @@ batch-size = 100
 EOF
 expect 2 "conflicts with --scenario" "sim scenario/flag conflict" \
     "$sim" --scenario "$tmp/ok.scenario" --agents 8
+expect 2 "conflicts with --scenario" "sim scenario/source conflict" \
+    "$sim" --scenario "$tmp/ok.scenario" --source open:rate=2
+expect 2 "conflicts with --scenario" "sim scenario/hot conflict" \
+    "$sim" --scenario "$tmp/ok.scenario" --hot-agents 2 --hot-factor 3
+expect 2 "conflicts with --grid" "sweep grid/source conflict" \
+    "$sweep" --grid "$tmp/ok.scenario" --source open:rate=2
 expect 2 "conflicts with --scenario" "report scenario/flag conflict" \
     "$report" --scenario "$tmp/ok.scenario" --cv 2 \
     --out "$tmp/report.md"

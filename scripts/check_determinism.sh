@@ -286,6 +286,105 @@ if ! grep -q "bogus" "$tmp/bad.out"; then
     exit 1
 fi
 
+# 6. Open-loop workload sources flow through the same determinism
+#    contract: an MMPP sweep must be byte-identical across --jobs,
+#    --queue policies, and --shards in every artifact.
+"$sweep" --protocols rr1,fcfs1 --agents 8 \
+         --source open:dist=mmpp,burst=4,gap=8 --loads 0.5,0.8 \
+         --batches 3 --batch-size 400 --fairness --health --jobs 1 \
+         --csv "$tmp/open1.csv" --trace-out "$tmp/open1.trace" \
+         --metrics-out "$tmp/open1-metrics.csv" > /dev/null
+"$sweep" --protocols rr1,fcfs1 --agents 8 \
+         --source open:dist=mmpp,burst=4,gap=8 --loads 0.5,0.8 \
+         --batches 3 --batch-size 400 --fairness --health --jobs 8 \
+         --queue heap --csv "$tmp/open8.csv" \
+         --trace-out "$tmp/open8.trace" \
+         --metrics-out "$tmp/open8-metrics.csv" > /dev/null
+"$sweep" --protocols rr1,fcfs1 --agents 8 \
+         --source open:dist=mmpp,burst=4,gap=8 --loads 0.5,0.8 \
+         --batches 3 --batch-size 400 --fairness --health --shards 2 \
+         --shard-dir "$tmp/open-shards" --csv "$tmp/opensh.csv" \
+         --trace-out "$tmp/opensh.trace" \
+         --metrics-out "$tmp/opensh-metrics.csv" > /dev/null
+
+for variant in open8 opensh; do
+    for kind in csv trace metrics.csv; do
+        case "$kind" in
+            csv) a="$tmp/open1.csv" b="$tmp/$variant.csv" ;;
+            trace) a="$tmp/open1.trace" b="$tmp/$variant.trace" ;;
+            *) a="$tmp/open1-metrics.csv" \
+               b="$tmp/$variant-metrics.csv" ;;
+        esac
+        if ! cmp -s "$a" "$b"; then
+            echo "FAIL: open-loop $kind differs ($variant vs serial)" >&2
+            exit 1
+        fi
+    done
+done
+if ! grep -q "workload.issued" "$tmp/open1-metrics.csv"; then
+    echo "FAIL: open-loop sweep emitted no workload.* metrics" >&2
+    exit 1
+fi
+# The source is part of the canonical spec, so it must land in the
+# provenance annotation (and hence the shard fingerprint).
+if ! grep -q "source = open:dist=mmpp" "$tmp/open1-metrics.csv"; then
+    echo "FAIL: scenario.spec annotation lacks the workload source" >&2
+    exit 1
+fi
+
+# 7. Trace replay: record a binary capture, then replaying it must be
+#    byte-identical across --jobs, --queue, and --shards too — and the
+#    replayed arrival schedule is protocol-independent by construction,
+#    so the sweep's CSV rows label the loadless axis with "-".
+"$sweep" --protocols rr1 --agents 8 --loads 1.5 --batches 3 \
+         --batch-size 400 --trace-out "$tmp/capture.trace" \
+         > /dev/null
+replay_spec="trace:file=$tmp/capture.trace,format=binary"
+"$sweep" --protocols rr1,fcfs1 --agents 8 --source "$replay_spec" \
+         --batches 2 --batch-size 200 --jobs 1 \
+         --csv "$tmp/replay1.csv" \
+         --metrics-out "$tmp/replay1-metrics.csv" > /dev/null
+"$sweep" --protocols rr1,fcfs1 --agents 8 --source "$replay_spec" \
+         --batches 2 --batch-size 200 --jobs 8 --queue heap \
+         --csv "$tmp/replay8.csv" \
+         --metrics-out "$tmp/replay8-metrics.csv" > /dev/null
+"$sweep" --protocols rr1,fcfs1 --agents 8 --source "$replay_spec" \
+         --batches 2 --batch-size 200 --shards 2 \
+         --shard-dir "$tmp/replay-shards" --csv "$tmp/replaysh.csv" \
+         --metrics-out "$tmp/replaysh-metrics.csv" > /dev/null
+for variant in replay8 replaysh; do
+    if ! cmp -s "$tmp/replay1.csv" "$tmp/$variant.csv"; then
+        echo "FAIL: trace-replay CSV differs ($variant vs serial)" >&2
+        diff -u "$tmp/replay1.csv" "$tmp/$variant.csv" >&2 || true
+        exit 1
+    fi
+    if ! cmp -s "$tmp/replay1-metrics.csv" \
+         "$tmp/$variant-metrics.csv"; then
+        echo "FAIL: trace-replay metrics differ ($variant vs serial)" >&2
+        exit 1
+    fi
+done
+if ! grep -q "load=-" "$tmp/replay1.csv"; then
+    echo "FAIL: loadless trace sweep rows not labelled with '-'" >&2
+    cat "$tmp/replay1.csv" >&2
+    exit 1
+fi
+
+# A loadless source combined with an explicit load axis is a usage
+# error, not a silently ignored flag.
+set +e
+"$sweep" --protocols rr1 --agents 8 --source "$replay_spec" \
+         --loads 0.5 --batches 2 --batch-size 200 \
+         > "$tmp/traceload.out" 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "FAIL: trace source with --loads exited $code, expected 2" >&2
+    cat "$tmp/traceload.out" >&2
+    exit 1
+fi
+
 echo "ok: parallel and sharded sweep CSV, trace, metrics, and" \
      "fairness/health snapshots byte-identical to serial and across" \
-     "--queue policies; bad tokens rejected with exit 2"
+     "--queue policies (closed, open-loop, and trace-replay sources);" \
+     "bad tokens rejected with exit 2"

@@ -300,9 +300,18 @@ encodeScenarioResult(const ScenarioResult &result)
     putU32(out, kResultCodecVersion);
     putString(out, result.protocolName);
     putString(out, result.spec);
+    putString(out, result.workloadSpec);
     putU32(out, static_cast<std::uint32_t>(result.numAgents));
     putDouble(out, result.confidence);
     putDouble(out, result.elapsedMs);
+
+    const WorkloadStats &w = result.workload;
+    putU32(out, w.openLoop ? 1 : 0);
+    putU32(out, w.saturated ? 1 : 0);
+    putU64(out, w.issued);
+    putU64(out, w.finalBacklog);
+    putDouble(out, w.offeredRate);
+    putDouble(out, w.carriedRate);
 
     putU64(out, result.batches.size());
     for (const BatchStats &b : result.batches) {
@@ -366,10 +375,23 @@ decodeScenarioResult(const std::uint8_t *data, std::size_t size,
     ScenarioResult result;
     std::uint32_t numAgents = 0;
     if (!r.getString(result.protocolName) || !r.getString(result.spec) ||
-        !r.getU32(numAgents) || !r.getDouble(result.confidence) ||
+        !r.getString(result.workloadSpec) || !r.getU32(numAgents) ||
+        !r.getDouble(result.confidence) ||
         !r.getDouble(result.elapsedMs))
         return fail("truncated scenario header");
     result.numAgents = static_cast<int>(numAgents);
+
+    std::uint32_t wOpenLoop = 0;
+    std::uint32_t wSaturated = 0;
+    WorkloadStats &w = result.workload;
+    if (!r.getU32(wOpenLoop) || !r.getU32(wSaturated) ||
+        !r.getU64(w.issued) || !r.getU64(w.finalBacklog) ||
+        !r.getDouble(w.offeredRate) || !r.getDouble(w.carriedRate))
+        return fail("truncated workload stats");
+    if (wOpenLoop > 1 || wSaturated > 1)
+        return fail("bad workload flags");
+    w.openLoop = wOpenLoop != 0;
+    w.saturated = wSaturated != 0;
 
     std::uint64_t numBatches = 0;
     if (!r.getU64(numBatches))
@@ -423,8 +445,7 @@ decodeScenarioResult(const std::uint8_t *data, std::size_t size,
     if (enabled > 1)
         return fail("bad health-enabled flag");
     if (verdict >
-        static_cast<std::uint32_t>(
-            ConvergenceVerdict::kTransientContaminated))
+        static_cast<std::uint32_t>(ConvergenceVerdict::kSaturated))
         return fail("bad health verdict");
     h.enabled = enabled != 0;
     h.verdict = static_cast<ConvergenceVerdict>(verdict);

@@ -30,8 +30,11 @@
 
 namespace busarb {
 
-/** Codec version stamped into every record. */
-inline constexpr std::uint32_t kResultCodecVersion = 1;
+/**
+ * Codec version stamped into every record. v2 added the workload spec
+ * string and the WorkloadStats block (open-loop observables).
+ */
+inline constexpr std::uint32_t kResultCodecVersion = 2;
 
 /**
  * Serialize a ScenarioResult into a self-contained record.

@@ -1,343 +1,12 @@
 #include "experiment/protocol_registry.hh"
 
-#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <ostream>
-#include <sstream>
 
-#include "experiment/cli.hh"
-#include "obs/export_format.hh"
 #include "sim/logging.hh"
 
 namespace busarb {
-
-namespace {
-
-const char *
-typeLabel(ParamType type)
-{
-    switch (type) {
-      case ParamType::kInt:
-        return "int";
-      case ParamType::kDouble:
-        return "number";
-      case ParamType::kBool:
-        return "bool";
-      case ParamType::kEnum:
-        return "enum";
-      case ParamType::kIntList:
-        return "int/int/...";
-    }
-    return "?";
-}
-
-std::string
-joinEnum(const std::vector<std::string> &values)
-{
-    std::string out;
-    for (const auto &v : values) {
-        if (!out.empty())
-            out += "|";
-        out += v;
-    }
-    return out;
-}
-
-/** Render an inclusive numeric range for messages and the table. */
-std::string
-rangeLabel(const ParamSpec &param)
-{
-    const auto num = [&](double v) {
-        if (param.type == ParamType::kDouble)
-            return formatDouble(v);
-        return std::to_string(static_cast<long>(v));
-    };
-    return "[" + num(param.minValue) + ", " + num(param.maxValue) + "]";
-}
-
-/** One raw option token of a spec string. */
-struct RawOption
-{
-    std::string name;
-    std::string value;
-    bool hasValue = false;
-};
-
-bool
-splitOptions(const std::string &text, std::vector<RawOption> &out,
-             std::string &error)
-{
-    std::istringstream is(text);
-    std::string token;
-    while (std::getline(is, token, ',')) {
-        if (token.empty()) {
-            error = "empty option in protocol spec";
-            return false;
-        }
-        RawOption option;
-        const auto eq = token.find('=');
-        if (eq == std::string::npos) {
-            option.name = token;
-        } else {
-            option.name = token.substr(0, eq);
-            option.value = token.substr(eq + 1);
-            option.hasValue = true;
-        }
-        out.push_back(option);
-    }
-    return true;
-}
-
-/**
- * Validate one raw value against its ParamSpec and canonicalize it.
- */
-bool
-canonicalizeValue(const ParamSpec &param, const std::string &raw,
-                  std::string &canonical, std::string &error)
-{
-    switch (param.type) {
-      case ParamType::kInt: {
-        long value = 0;
-        if (!parseLong(raw, value)) {
-            error = "option '" + param.name +
-                    "' expects an integer, got '" + raw + "'";
-            return false;
-        }
-        if (param.hasRange &&
-            (value < static_cast<long>(param.minValue) ||
-             value > static_cast<long>(param.maxValue))) {
-            error = "option '" + param.name + "' out of range: got '" +
-                    raw + "', expected " + rangeLabel(param);
-            return false;
-        }
-        canonical = std::to_string(value);
-        return true;
-      }
-      case ParamType::kDouble: {
-        double value = 0.0;
-        if (!parseDouble(raw, value)) {
-            error = "option '" + param.name +
-                    "' expects a number, got '" + raw + "'";
-            return false;
-        }
-        if (param.hasRange &&
-            (value < param.minValue || value > param.maxValue)) {
-            error = "option '" + param.name + "' out of range: got '" +
-                    raw + "', expected " + rangeLabel(param);
-            return false;
-        }
-        canonical = formatDouble(value);
-        return true;
-      }
-      case ParamType::kBool:
-        if (raw != "true" && raw != "false") {
-            error = "option '" + param.name +
-                    "' expects true/false, got '" + raw + "'";
-            return false;
-        }
-        canonical = raw;
-        return true;
-      case ParamType::kEnum:
-        if (std::find(param.enumValues.begin(), param.enumValues.end(),
-                      raw) == param.enumValues.end()) {
-            error = "option '" + param.name + "' expects one of " +
-                    joinEnum(param.enumValues) + ", got '" + raw + "'" +
-                    didYouMeanHint(raw, param.enumValues);
-            return false;
-        }
-        canonical = raw;
-        return true;
-      case ParamType::kIntList: {
-        std::string out;
-        std::istringstream is(raw);
-        std::string token;
-        bool any = false;
-        while (std::getline(is, token, '/')) {
-            long value = 0;
-            if (!parseLong(token, value)) {
-                error = "option '" + param.name +
-                        "' expects a '/'-separated list of integers, "
-                        "got '" + raw + "'";
-                return false;
-            }
-            if (param.hasRange &&
-                (value < static_cast<long>(param.minValue) ||
-                 value > static_cast<long>(param.maxValue))) {
-                error = "option '" + param.name +
-                        "' element out of range: got '" + token +
-                        "', expected " + rangeLabel(param);
-                return false;
-            }
-            if (any)
-                out += "/";
-            out += std::to_string(value);
-            any = true;
-        }
-        if (!any) {
-            error = "option '" + param.name +
-                    "' expects at least one integer";
-            return false;
-        }
-        canonical = out;
-        return true;
-      }
-    }
-    BUSARB_PANIC("unreachable");
-}
-
-/** @return The ParamSpec `name` resolves to (aliases included). */
-const ParamSpec *
-findParam(const ProtocolDescriptor &desc, const std::string &name)
-{
-    for (const auto &param : desc.params) {
-        if (param.name == name)
-            return &param;
-        for (const auto &alias : param.aliases) {
-            if (alias == name)
-                return &param;
-        }
-    }
-    return nullptr;
-}
-
-/** @return The sugar expansion of a bare token, or nullptr. */
-const SpecSugar *
-findSugar(const ProtocolDescriptor &desc, const std::string &token)
-{
-    for (const auto &sugar : desc.sugar) {
-        if (sugar.token == token)
-            return &sugar;
-    }
-    return nullptr;
-}
-
-/** Every name a spec option could legally use, for did-you-mean. */
-std::vector<std::string>
-optionVocabulary(const ProtocolDescriptor &desc)
-{
-    std::vector<std::string> names;
-    for (const auto &param : desc.params) {
-        names.push_back(param.name);
-        for (const auto &alias : param.aliases)
-            names.push_back(alias);
-    }
-    for (const auto &sugar : desc.sugar)
-        names.push_back(sugar.token);
-    return names;
-}
-
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    // Plain Levenshtein; the vocabularies are tiny.
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t up = row[j];
-            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-            diag = up;
-        }
-    }
-    return row[b.size()];
-}
-
-} // namespace
-
-std::string
-closestMatch(const std::string &given,
-             const std::vector<std::string> &candidates)
-{
-    std::string best;
-    std::size_t best_distance = 3; // accept distance <= 2
-    for (const auto &candidate : candidates) {
-        const std::size_t d = editDistance(given, candidate);
-        if (d < best_distance) {
-            best_distance = d;
-            best = candidate;
-        }
-    }
-    return best;
-}
-
-std::string
-didYouMeanHint(const std::string &given,
-               const std::vector<std::string> &candidates)
-{
-    const std::string match = closestMatch(given, candidates);
-    if (match.empty() || match == given)
-        return "";
-    return "; did you mean '" + match + "'?";
-}
-
-const std::string &
-ParamValues::raw(const std::string &name, ParamType type) const
-{
-    BUSARB_ASSERT(desc_ != nullptr, "ParamValues without a descriptor");
-    const ParamSpec *param = findParam(*desc_, name);
-    BUSARB_ASSERT(param != nullptr && param->type == type,
-                  "protocol '", desc_->key,
-                  "' build read undeclared or mistyped param '", name,
-                  "'");
-    for (const auto &[n, v] : values_) {
-        if (n == param->name)
-            return v;
-    }
-    BUSARB_PANIC("param '", name, "' has no resolved value");
-}
-
-long
-ParamValues::getInt(const std::string &name) const
-{
-    return std::strtol(raw(name, ParamType::kInt).c_str(), nullptr, 10);
-}
-
-double
-ParamValues::getDouble(const std::string &name) const
-{
-    return std::strtod(raw(name, ParamType::kDouble).c_str(), nullptr);
-}
-
-bool
-ParamValues::getBool(const std::string &name) const
-{
-    return raw(name, ParamType::kBool) == "true";
-}
-
-std::string
-ParamValues::getEnum(const std::string &name) const
-{
-    return raw(name, ParamType::kEnum);
-}
-
-std::vector<long>
-ParamValues::getIntList(const std::string &name) const
-{
-    std::vector<long> values;
-    std::istringstream is(raw(name, ParamType::kIntList));
-    std::string token;
-    while (std::getline(is, token, '/'))
-        values.push_back(std::strtol(token.c_str(), nullptr, 10));
-    return values;
-}
-
-std::string
-ProtocolSpec::format() const
-{
-    std::string out = key;
-    bool first = true;
-    for (const auto &[name, value] : params) {
-        out += first ? ":" : ",";
-        first = false;
-        out += name + "=" + value;
-    }
-    return out;
-}
 
 void
 ProtocolRegistry::add(ProtocolDescriptor desc)
@@ -347,14 +16,8 @@ ProtocolRegistry::add(ProtocolDescriptor desc)
                   "' registered without a build function");
     BUSARB_ASSERT(find(desc.key) == nullptr, "protocol key '", desc.key,
                   "' registered twice");
-    for (const auto &param : desc.params) {
-        std::string canonical;
-        std::string error;
-        BUSARB_ASSERT(canonicalizeValue(param, param.defaultValue,
-                                        canonical, error),
-                      "protocol '", desc.key, "' param '", param.name,
-                      "' has an invalid default: ", error);
-    }
+    spec_schema::validateDefaults("protocol '" + desc.key + "'",
+                                  desc.params);
     protocols_.push_back(std::move(desc));
 }
 
@@ -385,64 +48,15 @@ ProtocolRegistry::parseSpec(const std::string &text, ProtocolSpec &out,
         return false;
     }
 
-    std::vector<RawOption> options;
-    if (colon != std::string::npos &&
-        !splitOptions(text.substr(colon + 1), options, error))
-        return false;
-
-    // Resolve each option to its canonical (param, value) pair.
-    std::vector<std::pair<std::string, std::string>> given;
-    for (const auto &option : options) {
-        const ParamSpec *param = findParam(*desc, option.name);
-        std::string value = option.value;
-        bool has_value = option.hasValue;
-        if (param == nullptr && !has_value) {
-            if (const SpecSugar *sugar = findSugar(*desc, option.name)) {
-                param = findParam(*desc, sugar->param);
-                BUSARB_ASSERT(param != nullptr, "sugar '", sugar->token,
-                              "' expands to undeclared param '",
-                              sugar->param, "'");
-                value = sugar->value;
-                has_value = true;
-            }
-        }
-        if (param == nullptr) {
-            error = "unknown option '" + option.name +
-                    "' for protocol '" + key + "'" +
-                    didYouMeanHint(option.name, optionVocabulary(*desc));
-            return false;
-        }
-        if (!has_value) {
-            // Bare boolean options mean true; everything else needs an
-            // explicit value.
-            if (param->type != ParamType::kBool) {
-                error = "option '" + option.name + "' needs a value";
-                return false;
-            }
-            value = "true";
-        }
-        std::string canonical;
-        if (!canonicalizeValue(*param, value, canonical, error))
-            return false;
-        for (const auto &[name, v] : given) {
-            if (name == param->name) {
-                error = "duplicate option '" + param->name + "'";
-                return false;
-            }
-        }
-        given.emplace_back(param->name, canonical);
-    }
-
-    // Canonical order is declaration order, so equal specs format
-    // identically however their options were written.
     ProtocolSpec spec;
     spec.key = key;
-    for (const auto &param : desc->params) {
-        for (const auto &[name, value] : given) {
-            if (name == param.name)
-                spec.params.emplace_back(name, value);
-        }
-    }
+    const bool had_colon = colon != std::string::npos;
+    const std::string options =
+        had_colon ? text.substr(colon + 1) : std::string();
+    if (!spec_schema::parseOptions("protocol", key, desc->params,
+                                   desc->sugar, options, had_colon,
+                                   spec.params, error))
+        return false;
 
     if (desc->validate) {
         const std::string message =
@@ -460,17 +74,8 @@ ParamValues
 ProtocolRegistry::resolveValues(const ProtocolDescriptor &desc,
                                 const ProtocolSpec &spec) const
 {
-    ParamValues values;
-    values.desc_ = &desc;
-    for (const auto &param : desc.params) {
-        std::string value = param.defaultValue;
-        for (const auto &[name, v] : spec.params) {
-            if (name == param.name)
-                value = v;
-        }
-        values.values_.emplace_back(param.name, value);
-    }
-    return values;
+    return ParamValues::resolve("protocol '" + desc.key + "'",
+                                desc.params, spec);
 }
 
 ProtocolFactory
@@ -481,18 +86,8 @@ ProtocolRegistry::instantiate(const ProtocolSpec &spec) const
         BUSARB_FATAL("unknown protocol key '", spec.key, "'");
     // Re-validate so hand-built specs cannot smuggle bad values past
     // the schema.
-    for (const auto &[name, value] : spec.params) {
-        const ParamSpec *param = findParam(*desc, name);
-        if (param == nullptr || param->name != name) {
-            BUSARB_FATAL("unknown option '", name, "' for protocol '",
-                         spec.key, "'");
-        }
-        std::string canonical;
-        std::string error;
-        if (!canonicalizeValue(*param, value, canonical, error))
-            BUSARB_FATAL(error, " in protocol spec '", spec.format(),
-                         "'");
-    }
+    spec_schema::revalidateOrDie("protocol", spec.key, desc->params,
+                                 spec);
     const ParamValues values = resolveValues(*desc, spec);
     if (desc->validate) {
         const std::string message = desc->validate(values);
@@ -528,28 +123,7 @@ ProtocolRegistry::printTable(std::ostream &os) const
         if (desc.isAlias)
             os << " (parameterized form)";
         os << "\n";
-        for (const auto &param : desc.params) {
-            os << "      " << param.name;
-            for (std::size_t i = param.name.size(); i < 18; ++i)
-                os << " ";
-            std::string type = typeLabel(param.type);
-            if (param.type == ParamType::kEnum)
-                type = joinEnum(param.enumValues);
-            os << type;
-            for (std::size_t i = type.size(); i < 26; ++i)
-                os << " ";
-            os << "default " << param.defaultValue;
-            if (param.hasRange)
-                os << "  range " << rangeLabel(param);
-            os << "\n          " << param.help << "\n";
-        }
-        for (const auto &sugar : desc.sugar) {
-            os << "      " << sugar.token;
-            for (std::size_t i = sugar.token.size(); i < 18; ++i)
-                os << " ";
-            os << "short for " << sugar.param << "=" << sugar.value
-               << "\n";
-        }
+        spec_schema::printParamRows(os, desc.params, desc.sugar);
     }
 }
 

@@ -30,82 +30,9 @@
 #include <vector>
 
 #include "experiment/runner.hh"
+#include "experiment/spec_schema.hh"
 
 namespace busarb {
-
-/** Value type of one declared protocol parameter. */
-enum class ParamType {
-    kInt,
-    kDouble,
-    kBool,
-    kEnum,
-    kIntList, // '/'-separated, e.g. weights=4/1/1/1
-};
-
-/** One declared parameter of a protocol descriptor. */
-struct ParamSpec
-{
-    /** Canonical option name, as written in spec strings. */
-    std::string name;
-
-    ParamType type = ParamType::kInt;
-
-    /** Default, as canonical text ("0", "false", "saturate", "1"). */
-    std::string defaultValue;
-
-    /** One-line description for --list-protocols. */
-    std::string help;
-
-    /**
-     * Inclusive numeric range for kInt/kDouble (per element for
-     * kIntList); only enforced and displayed when hasRange is set.
-     */
-    bool hasRange = false;
-    double minValue = 0.0;
-    double maxValue = 0.0;
-
-    /** Accepted values for kEnum, in display order. */
-    std::vector<std::string> enumValues;
-
-    /** Alternate accepted spellings ("counter_bits" for "bits"). */
-    std::vector<std::string> aliases;
-};
-
-/**
- * A bare spec token that expands to `param=value` — legacy sugar such
- * as fcfs's `wrap` meaning `overflow=wrap`.
- */
-struct SpecSugar
-{
-    std::string token;
-    std::string param;
-    std::string value;
-};
-
-struct ProtocolDescriptor;
-
-/**
- * Validated parameter values handed to a descriptor's build function:
- * the declared defaults overlaid with the spec's explicit settings.
- */
-class ParamValues
-{
-  public:
-    long getInt(const std::string &name) const;
-    double getDouble(const std::string &name) const;
-    bool getBool(const std::string &name) const;
-    std::string getEnum(const std::string &name) const;
-    std::vector<long> getIntList(const std::string &name) const;
-
-  private:
-    friend class ProtocolRegistry;
-
-    const ProtocolDescriptor *desc_ = nullptr;
-    std::vector<std::pair<std::string, std::string>> values_;
-
-    const std::string &raw(const std::string &name,
-                           ParamType type) const;
-};
 
 /** Everything the registry knows about one protocol. */
 struct ProtocolDescriptor
@@ -143,30 +70,10 @@ struct ProtocolDescriptor
 };
 
 /**
- * A parsed, validated spec: the key plus the explicitly given
- * parameters in canonical order with canonical value text. format() of
- * a parsed spec re-parses to an equal spec (round-trip property).
+ * A parsed, validated protocol spec — the shared canonical
+ * key-plus-params shape from the schema engine.
  */
-struct ProtocolSpec
-{
-    std::string key;
-    std::vector<std::pair<std::string, std::string>> params;
-
-    /** @return Canonical spec text ("fcfs2:bits=3,overflow=wrap"). */
-    std::string format() const;
-
-    bool
-    operator==(const ProtocolSpec &other) const
-    {
-        return key == other.key && params == other.params;
-    }
-
-    bool
-    operator!=(const ProtocolSpec &other) const
-    {
-        return !(*this == other);
-    }
-};
+using ProtocolSpec = SpecInstance;
 
 /**
  * The registry itself: descriptors in registration order, looked up by
@@ -255,17 +162,6 @@ void registerWeightedRoundRobin(ProtocolRegistry &registry);
  */
 ProtocolFactory protocolFactoryOrExit(const std::string &program,
                                       const std::string &text);
-
-/**
- * @return The closest candidate within edit distance 2 of `given`, or
- *         "" when nothing is close (did-you-mean support).
- */
-std::string closestMatch(const std::string &given,
-                         const std::vector<std::string> &candidates);
-
-/** @return "; did you mean 'X'?" via closestMatch, or "". */
-std::string didYouMeanHint(const std::string &given,
-                           const std::vector<std::string> &candidates);
 
 } // namespace busarb
 

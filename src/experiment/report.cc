@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "experiment/table.hh"
+#include "obs/export_format.hh"
 #include "sim/logging.hh"
 
 namespace busarb {
@@ -38,6 +39,10 @@ describeScenario(const ScenarioConfig &config)
         os << config.bus.arbitrationOverhead << " overlapped";
     }
     os << "; " << config.numBatches << " batches x " << config.batchSize;
+    // Only non-default sources are named, so closed-loop banners (and
+    // anything diffing them) look exactly as they did pre-seam.
+    if (config.workloadSpec != "closed")
+        os << "; source " << config.workloadSpec;
     return os.str();
 }
 
@@ -46,6 +51,18 @@ printSummary(const ScenarioResult &result, std::ostream &os)
 {
     TextTable table({"measure", "value"});
     table.addRow({"protocol", result.protocolName});
+    if (result.workloadSpec != "closed")
+        table.addRow({"workload source", result.workloadSpec});
+    if (result.workload.openLoop) {
+        table.addRow({"offered rate",
+                      formatFixed(result.workload.offeredRate, 4)});
+        table.addRow({"carried rate",
+                      formatFixed(result.workload.carriedRate, 4)});
+        table.addRow({"final backlog",
+                      formatUint(result.workload.finalBacklog)});
+        table.addRow({"saturated",
+                      result.workload.saturated ? "yes" : "no"});
+    }
     table.addRow({"throughput (bus utilization)",
                   formatEstimate(result.throughput())});
     table.addRow({"mean wait W", formatEstimate(result.meanWait())});

@@ -8,6 +8,7 @@
 
 #include "experiment/job_pool.hh"
 #include "experiment/metrics.hh"
+#include "experiment/workload_registry.hh"
 #include "obs/binary_trace.hh"
 #include "obs/export_format.hh"
 #include "obs/fairness_auditor.hh"
@@ -17,7 +18,7 @@
 #include "random/rng.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
-#include "workload/closed_agent.hh"
+#include "workload/workload_source.hh"
 
 namespace busarb {
 
@@ -219,26 +220,37 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     Profiler profiler;
     const bool profile = config.profile;
 
-    Rng base(config.seed);
-    std::vector<std::unique_ptr<ClosedAgent>> agents;
-    agents.reserve(static_cast<std::size_t>(config.numAgents));
+    // The workload seam: the scenario's `source=` spec decides who
+    // generates traffic. `closed` reproduces the historical agent
+    // wiring bit-for-bit; open-loop and trace sources plug in here
+    // without the runner knowing their shape.
+    std::unique_ptr<WorkloadSource> source =
+        buildWorkloadSource(config, queue, bus);
+    source->setThinkSink(&collector);
     for (AgentId a = 1; a <= config.numAgents; ++a) {
-        const AgentTraits &traits =
-            config.agents[static_cast<std::size_t>(a - 1)];
-        agents.push_back(std::make_unique<ClosedAgent>(
-            queue, bus, a, traits,
-            base.fork(static_cast<std::uint64_t>(a))));
-        agents.back()->setThinkSink(&collector);
-        collector.setOverlapLimit(a, traits.overlapLimit);
+        collector.setOverlapLimit(
+            a, config.agents[static_cast<std::size_t>(a - 1)]
+                   .overlapLimit);
+    }
+
+    const std::uint64_t needed_completions =
+        config.warmup +
+        static_cast<std::uint64_t>(config.numBatches) * config.batchSize;
+    if (source->capacity() > 0) {
+        BUSARB_ASSERT(source->capacity() >= needed_completions,
+                      "workload source supplies ", source->capacity(),
+                      " requests but the run needs ",
+                      needed_completions,
+                      " completions; the simulation would deadlock");
     }
 
     // Route service notifications to the collector first (so waits are
-    // recorded), then to the owning agent (which schedules the next
-    // request of its token).
+    // recorded), then to the source (closed loops schedule the next
+    // request of the completed agent's token from it).
     struct Dispatcher : BusObserver
     {
         MetricsCollector *collector;
-        std::vector<std::unique_ptr<ClosedAgent>> *agents;
+        WorkloadSource *source;
 
         void
         onServiceStart(const Request &req, Tick now) override
@@ -250,17 +262,15 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
         onServiceEnd(const Request &req, Tick now) override
         {
             collector->onServiceEnd(req, now);
-            (*agents)[static_cast<std::size_t>(req.agent - 1)]
-                ->onServiceEnd(now);
+            source->onServiceEnd(req.agent, now);
         }
     };
     Dispatcher dispatcher;
     dispatcher.collector = &collector;
-    dispatcher.agents = &agents;
+    dispatcher.source = source.get();
     bus.setObserver(&dispatcher);
 
-    for (auto &agent : agents)
-        agent->start();
+    source->start();
 
     const auto run_until = [&](std::uint64_t target) {
         while (collector.totalCompletions() < target) {
@@ -282,9 +292,17 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
 
     ScenarioResult result;
     result.protocolName = protocol_name;
+    result.workloadSpec = config.workloadSpec;
     result.numAgents = config.numAgents;
     result.confidence = config.confidence;
     result.waitHistogram = Histogram(config.histBinWidth, config.histBins);
+
+    // Open-loop runs can outrun the bus; snapshot the issue counter at
+    // the measurement boundary so backlog growth (not its warm-up
+    // level) drives the saturation verdict.
+    const bool open_loop = source->openLoop();
+    const std::uint64_t measure_start_issued = source->issued();
+    const Tick measure_start_tick = queue.now();
 
     // Stream cumulative counters into the trace at batch boundaries so
     // Perfetto shows progress tracks alongside the event timeline.
@@ -332,6 +350,40 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
             emit_counters();
         }
     }
+    if (open_loop) {
+        WorkloadStats &w = result.workload;
+        w.openLoop = true;
+        w.issued = source->issued();
+        const std::uint64_t completed = collector.totalCompletions();
+        BUSARB_ASSERT(w.issued >= completed,
+                      "more completions than issued requests");
+        w.finalBacklog = w.issued - completed;
+        const double measured_units =
+            ticksToUnits(queue.now() - measure_start_tick);
+        const std::uint64_t measured_completions =
+            completed - config.warmup;
+        w.offeredRate = static_cast<double>(w.issued -
+                                            measure_start_issued) /
+                        measured_units;
+        w.carriedRate =
+            static_cast<double>(measured_completions) / measured_units;
+        // Saturation: the backlog at the end of measurement exceeds the
+        // backlog at its start by more than a noise floor. A stable
+        // queue fluctuates around its stationary level; an unstable one
+        // grows linearly, so growth of 5% of the measured completions
+        // (64 minimum, for short runs) separates the two cleanly.
+        const std::uint64_t backlog_start =
+            measure_start_issued - config.warmup;
+        const std::uint64_t growth = w.finalBacklog > backlog_start
+                                         ? w.finalBacklog - backlog_start
+                                         : 0;
+        const std::uint64_t noise_floor =
+            measured_completions / 20 > 64 ? measured_completions / 20
+                                           : 64;
+        w.saturated = growth > noise_floor;
+        if (w.saturated && health != nullptr)
+            health->noteSaturated();
+    }
     ProfilePhaseTimer drain_timer(profile ? &profiler : nullptr,
                                   RunPhase::kDrain);
     result.waitHistogram = collector.histogram();
@@ -343,6 +395,27 @@ runScenario(const ScenarioConfig &config, const ProtocolFactory &factory)
     if (trace_writer != nullptr)
         result.binaryTrace = trace_writer->finish();
     populateMetrics(result.metrics, config, queue, bus, collector);
+    // workload.* observables exist only for open-loop sources: closed
+    // loops cannot build backlog, and the closed path's artifacts must
+    // stay byte-identical to pre-seam runs.
+    if (open_loop) {
+        MetricsRegistry &m = result.metrics;
+        const WorkloadStats &w = result.workload;
+        m.counter("workload.issued").add(w.issued);
+        m.counter("workload.backlog").add(w.finalBacklog);
+        m.gauge("workload.offered_rate").set(w.offeredRate);
+        m.gauge("workload.carried_rate").set(w.carriedRate);
+        m.gauge("workload.saturated").set(w.saturated ? 1.0 : 0.0);
+        for (AgentId a = 1; a <= config.numAgents; ++a) {
+            const std::uint64_t agent_backlog =
+                source->issuedBy(a) - collector.agent(a).completions;
+            m.gauge(agentMetricPrefix(a, config.numAgents) + "backlog")
+                .set(static_cast<double>(agent_backlog));
+        }
+    }
+    if (config.workloadSpec != "closed")
+        result.metrics.setAnnotation("workload.spec",
+                                     config.workloadSpec);
     if (auditor != nullptr) {
         auditor->finish(queue.now());
         auditor->exportMetrics(result.metrics);

@@ -64,6 +64,38 @@ struct BatchStats
     std::uint64_t retryPasses = 0;
 };
 
+/**
+ * Workload-side observables of one run. Meaningful counts are only
+ * collected for open-loop sources (openLoop set): a closed loop cannot
+ * build backlog by construction, and keeping the closed path untouched
+ * preserves byte-identity with pre-seam artifacts.
+ */
+struct WorkloadStats
+{
+    /** True when the run's source was open-loop. */
+    bool openLoop = false;
+
+    /**
+     * True when the saturation detector fired: the backlog grew by
+     * more than max(64, 5% of measured completions) over the
+     * measurement period, i.e. offered load exceeded what the bus
+     * could carry and every wait statistic is transient-dependent.
+     */
+    bool saturated = false;
+
+    /** Requests issued by the source over the whole run. */
+    std::uint64_t issued = 0;
+
+    /** Requests issued but not yet completed at run end. */
+    std::uint64_t finalBacklog = 0;
+
+    /** Requests issued per unit time over the measurement period. */
+    double offeredRate = 0.0;
+
+    /** Completions per unit time over the measurement period. */
+    double carriedRate = 0.0;
+};
+
 /** Results of one scenario run. */
 struct ScenarioResult
 {
@@ -77,9 +109,18 @@ struct ScenarioResult
      */
     std::string spec;
 
+    /**
+     * The workload spec the run was driven by (canonical registry
+     * grammar); copied from ScenarioConfig::workloadSpec.
+     */
+    std::string workloadSpec = "closed";
+
     int numAgents = 0;
     double confidence = 0.90;
     std::vector<BatchStats> batches;
+
+    /** Workload observables; counts populated for open-loop runs. */
+    WorkloadStats workload;
 
     /**
      * Wall-clock time this scenario took to simulate, in milliseconds.

@@ -8,6 +8,7 @@
 
 #include "experiment/cli.hh"
 #include "experiment/protocol_registry.hh"
+#include "experiment/workload_registry.hh"
 #include "obs/export_format.hh"
 #include "sim/logging.hh"
 
@@ -64,7 +65,8 @@ keysOf(const std::string &section)
 {
     static const std::vector<std::string> workload = {
         "family", "agents", "cv",
-        "unequal-factor", "max-outstanding", "load"};
+        "unequal-factor", "max-outstanding", "load",
+        "source", "hot-agents", "hot-factor"};
     static const std::vector<std::string> bus = {
         "arb-overhead", "settle-timing", "worst-case-settle"};
     static const std::vector<std::string> run = {
@@ -134,6 +136,14 @@ ScenarioSpec::format() const
     if (family == "unequal")
         os << "unequal-factor = " << formatDouble(unequalFactor) << "\n";
     os << "max-outstanding = " << maxOutstanding << "\n";
+    // Emitted only when set, so pre-seam scenarios format (and hash,
+    // and annotate) byte-identically to before these keys existed.
+    if (source != "closed")
+        os << "source = " << source << "\n";
+    if (hotAgents > 0) {
+        os << "hot-agents = " << hotAgents << "\n";
+        os << "hot-factor = " << formatDouble(hotFactor) << "\n";
+    }
     os << "\n[bus]\n";
     os << "arb-overhead = " << formatDouble(arbOverhead) << "\n";
     os << "settle-timing = " << (settleTiming ? "true" : "false") << "\n";
@@ -163,10 +173,29 @@ ScenarioSpec::format() const
     return os.str();
 }
 
+bool
+ScenarioSpec::sourceTakesLoads() const
+{
+    const WorkloadDescriptor *desc = workloadDescriptorFor(source);
+    return desc == nullptr || desc->takesLoads;
+}
+
+const std::vector<std::string> &
+ScenarioSpec::loadAxis() const
+{
+    // The placeholder keeps the cell enumeration non-degenerate when
+    // the source fixes its own schedule: one cell per protocol, with a
+    // stable row label.
+    static const std::vector<std::string> no_load_axis = {"-"};
+    if (!sourceTakesLoads())
+        return no_load_axis;
+    return loadTokens;
+}
+
 std::size_t
 ScenarioSpec::cellCount() const
 {
-    return loadTokens.size() * protocolSpecs.size();
+    return loadAxis().size() * protocolSpecs.size();
 }
 
 const std::string &
@@ -174,7 +203,7 @@ ScenarioSpec::cellLoadToken(std::size_t index) const
 {
     BUSARB_ASSERT(index < cellCount(), "cell index ", index,
                   " out of range (", cellCount(), " cells)");
-    return loadTokens[index / protocolSpecs.size()];
+    return loadAxis()[index / protocolSpecs.size()];
 }
 
 const std::string &
@@ -191,6 +220,11 @@ ScenarioSpec::configForLoad(const std::string &load_token) const
     ScenarioConfig config;
     if (family == "worst-case") {
         config = worstCaseRrScenario(agents, cv);
+    } else if (!sourceTakesLoads()) {
+        // No load axis: the source (trace replay) fixes its own
+        // arrivals and never samples think times, so the traits' load
+        // is inert — any fixed value keeps the config deterministic.
+        config = equalLoadScenario(agents, 0.5, cv);
     } else {
         double load = 0.0;
         BUSARB_ASSERT(parseDouble(load_token, load),
@@ -202,7 +236,15 @@ ScenarioSpec::configForLoad(const std::string &load_token) const
         } else {
             config = equalLoadScenario(agents, load, cv);
         }
+        if (hotAgents > 0) {
+            const double hot_load = hotFactor * load / agents;
+            for (int i = 0; i < hotAgents; ++i) {
+                config.agents[static_cast<std::size_t>(i)]
+                    .meanInterrequest = interrequestForLoad(hot_load);
+            }
+        }
     }
+    config.workloadSpec = source;
     config.numBatches = batches;
     config.batchSize = static_cast<std::uint64_t>(batchSize);
     config.warmup = resolvedWarmup();
@@ -343,6 +385,21 @@ parseScenarioSpec(const std::string &text, ScenarioSpec &out,
             long v = 0;
             if (want_int(1, v))
                 spec.maxOutstanding = static_cast<int>(v);
+        } else if (key == "source") {
+            WorkloadSpec parsed;
+            std::string spec_error;
+            if (!WorkloadRegistry::builtin().parseSpec(value, parsed,
+                                                       spec_error)) {
+                return fail("bad workload source '" + value + "': " +
+                            spec_error);
+            }
+            spec.source = value;
+        } else if (key == "hot-agents") {
+            long v = 0;
+            if (want_int(0, v))
+                spec.hotAgents = static_cast<int>(v);
+        } else if (key == "hot-factor") {
+            want_double(0.0, true, spec.hotFactor);
         } else if (key == "arb-overhead") {
             want_double(0.0, false, spec.arbOverhead);
         } else if (key == "settle-timing") {
@@ -406,6 +463,40 @@ parseScenarioSpec(const std::string &text, ScenarioSpec &out,
                 "workload fixes its own rates)";
         return false;
     }
+    if (!spec.sourceTakesLoads() && !spec.loadTokens.empty()) {
+        error = "workload source '" + spec.source +
+                "' takes no loads (it fixes its own arrival schedule)";
+        return false;
+    }
+    if (spec.hotAgents > 0) {
+        if (spec.family != "equal") {
+            error = "hot-agents requires family 'equal' (family "
+                    "'unequal' already defines its own hot agent)";
+            return false;
+        }
+        if (spec.hotFactor <= 0.0) {
+            error = "hot-agents requires hot-factor";
+            return false;
+        }
+        if (spec.hotAgents > spec.agents) {
+            error = "hot-agents exceeds agents";
+            return false;
+        }
+        for (const auto &token : spec.loadTokens) {
+            double load = 0.0;
+            if (!parseDouble(token, load))
+                continue; // expandLoadToken already validated
+            if (spec.hotFactor * load / spec.agents >= 1.0) {
+                error = "hot-factor " + formatDouble(spec.hotFactor) +
+                        " at load " + token +
+                        " pushes a hot agent's offered load to >= 1";
+                return false;
+            }
+        }
+    } else if (spec.hotFactor > 0.0) {
+        error = "hot-factor requires hot-agents";
+        return false;
+    }
     out = spec;
     return true;
 }
@@ -448,6 +539,14 @@ addScenarioFlags(ArgParser &parser)
                          "disables");
     parser.addIntFlag("max-outstanding", 1,
                       "outstanding requests per agent (FCFS r > 1)");
+    parser.addStringFlag("source", "closed",
+                         "workload-source spec (see --list-workloads): "
+                         "closed, open:..., onoff:..., trace:...");
+    parser.addIntFlag("hot-agents", 0,
+                      "first K agents offer --hot-factor times the "
+                      "per-agent base load (family equal); 0 disables");
+    parser.addDoubleFlag("hot-factor", 0.0,
+                         "hot agents' per-agent load multiplier");
     parser.addIntFlag("batches", 10, "measurement batches");
     parser.addIntFlag("batch-size", 8000, "completions per batch");
     parser.addIntFlag("warmup", 8000, "warm-up completions discarded");
@@ -495,7 +594,7 @@ scenarioSpecFromFlags(const std::string &program,
             "agents", "load", "cv", "worst-case", "unequal-factor",
             "max-outstanding", "batches", "batch-size", "warmup",
             "seed", "arb-overhead", "settle-timing",
-            "worst-case-settle"};
+            "worst-case-settle", "source", "hot-agents", "hot-factor"};
         for (const char *flag : kOwned) {
             if (parser.wasSet(flag)) {
                 std::cerr << program << ": --" << flag
@@ -528,9 +627,33 @@ scenarioSpecFromFlags(const std::string &program,
     spec.warmupSet = true;
     spec.warmup = parser.getInt("warmup");
     spec.seed = static_cast<std::uint64_t>(parser.getInt("seed"));
-    if (spec.family != "worst-case")
+
+    spec.source = parser.getString("source");
+    workloadSpecOrExit(program, spec.source); // validate; keep verbatim
+    spec.hotAgents = static_cast<int>(parser.getInt("hot-agents"));
+    spec.hotFactor = parser.getDouble("hot-factor");
+
+    if (!spec.sourceTakesLoads()) {
+        if (parser.wasSet("load")) {
+            std::cerr << program << ": --load conflicts with --source "
+                      << spec.source
+                      << " (the source fixes its own arrival "
+                         "schedule)\n";
+            std::exit(2);
+        }
+    } else if (spec.family != "worst-case") {
         spec.loadTokens.push_back(
             formatDouble(parser.getDouble("load")));
+    }
+
+    // Re-run the file-level validation on the flag-built spec so both
+    // construction paths reject the same contradictions identically.
+    ScenarioSpec validated;
+    std::string error;
+    if (!parseScenarioSpec(spec.format(), validated, error)) {
+        std::cerr << program << ": " << error << "\n";
+        std::exit(2);
+    }
     return spec;
 }
 

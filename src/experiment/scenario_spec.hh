@@ -18,6 +18,9 @@
  *     agents = 30
  *     cv = 1
  *     load = 2                # single-run alternative to [sweep] loads
+ *     source = open:dist=mmpp # workload-source spec (default closed)
+ *     hot-agents = 2          # first K agents run hot (family equal)
+ *     hot-factor = 4          # hot agents' per-agent load multiplier
  *
  *     [bus]
  *     arb-overhead = 0.5
@@ -63,6 +66,21 @@ struct ScenarioSpec
     double unequalFactor = 0.0; // required > 0 when family = unequal
     int maxOutstanding = 1;
 
+    /**
+     * Workload-source spec (experiment/workload_registry.hh grammar),
+     * kept verbatim as written. "closed" — the default — reproduces
+     * the paper's closed loop byte-for-byte.
+     */
+    std::string source = "closed";
+
+    /**
+     * Hot/cold load mix: the first hotAgents agents offer hotFactor
+     * times the per-agent base load (family equal only; 0 disables).
+     * Generalizes family=unequal's single hot agent to a hot set.
+     */
+    int hotAgents = 0;
+    double hotFactor = 0.0; // required > 0 when hotAgents > 0
+
     // [bus]
     double arbOverhead = 0.5;
     bool settleTiming = false;
@@ -99,6 +117,18 @@ struct ScenarioSpec
     std::string format() const;
 
     /**
+     * The load axis the grid sweeps. For sources with a load axis this
+     * is loadTokens; for sources that fix their own arrival schedule
+     * (trace replay, takesLoads = false) it is the single placeholder
+     * token "-", so the grid still enumerates one cell per protocol
+     * and row labels stay well-formed.
+     */
+    const std::vector<std::string> &loadAxis() const;
+
+    /** @return True when the selected source has no load axis. */
+    bool sourceTakesLoads() const;
+
+    /**
      * Number of grid cells this spec expands to: one per load x
      * protocol pair, in row-emission order (loads outer, protocols
      * inner). This is the canonical cell enumeration every consumer —
@@ -106,7 +136,7 @@ struct ScenarioSpec
      * and the merge stage — must agree on; a cell's global index is
      * its identity in checkpoint manifests.
      *
-     * @return loadTokens.size() * protocolSpecs.size().
+     * @return loadAxis().size() * protocolSpecs.size().
      */
     std::size_t cellCount() const;
 

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The shared spec-string schema engine behind the protocol and
+ * workload registries.
+ *
+ * Both registries parse `key[:option=value,...]` strings against typed
+ * parameter schemas with defaults, ranges, enums, aliases and bare-token
+ * sugar, canonicalize values so format() round-trips, and print
+ * schema-generated catalogue tables. This header holds the pieces that
+ * are identical between them, parameterized by a noun ("protocol",
+ * "workload source") so diagnostics keep naming the thing the user
+ * actually typed.
+ */
+
+#ifndef BUSARB_EXPERIMENT_SPEC_SCHEMA_HH
+#define BUSARB_EXPERIMENT_SPEC_SCHEMA_HH
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace busarb {
+
+/** Value type of one declared spec parameter. */
+enum class ParamType {
+    kInt,
+    kDouble,
+    kBool,
+    kEnum,
+    kIntList, // '/'-separated, e.g. weights=4/1/1/1
+    kString,  // opaque text, e.g. trace file paths
+};
+
+/** One declared parameter of a registry descriptor. */
+struct ParamSpec
+{
+    /** Canonical option name, as written in spec strings. */
+    std::string name;
+
+    ParamType type = ParamType::kInt;
+
+    /** Default, as canonical text ("0", "false", "saturate", "1"). */
+    std::string defaultValue;
+
+    /** One-line description for --list-* catalogue tables. */
+    std::string help;
+
+    /**
+     * Inclusive numeric range for kInt/kDouble (per element for
+     * kIntList); only enforced and displayed when hasRange is set.
+     */
+    bool hasRange = false;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+
+    /** Accepted values for kEnum, in display order. */
+    std::vector<std::string> enumValues;
+
+    /** Alternate accepted spellings ("counter_bits" for "bits"). */
+    std::vector<std::string> aliases;
+};
+
+/**
+ * A bare spec token that expands to `param=value` — legacy sugar such
+ * as fcfs's `wrap` meaning `overflow=wrap`.
+ */
+struct SpecSugar
+{
+    std::string token;
+    std::string param;
+    std::string value;
+};
+
+/**
+ * A parsed, validated spec: the key plus the explicitly given
+ * parameters in canonical order with canonical value text. format() of
+ * a parsed spec re-parses to an equal spec (round-trip property).
+ */
+struct SpecInstance
+{
+    std::string key;
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** @return Canonical spec text ("fcfs2:bits=3,overflow=wrap"). */
+    std::string format() const;
+
+    bool
+    operator==(const SpecInstance &other) const
+    {
+        return key == other.key && params == other.params;
+    }
+
+    bool
+    operator!=(const SpecInstance &other) const
+    {
+        return !(*this == other);
+    }
+};
+
+/**
+ * Validated parameter values handed to a descriptor's build function:
+ * the declared defaults overlaid with the spec's explicit settings.
+ */
+class ParamValues
+{
+  public:
+    long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+    std::string getEnum(const std::string &name) const;
+    std::vector<long> getIntList(const std::string &name) const;
+    std::string getString(const std::string &name) const;
+
+    /**
+     * Overlay a descriptor's defaults with a spec's explicit params.
+     *
+     * @param owner Diagnostic label ("protocol 'rr1'") for misuse
+     *        messages.
+     */
+    static ParamValues resolve(const std::string &owner,
+                               const std::vector<ParamSpec> &params,
+                               const SpecInstance &spec);
+
+  private:
+    std::string owner_;
+    const std::vector<ParamSpec> *params_ = nullptr;
+    std::vector<std::pair<std::string, std::string>> values_;
+
+    const std::string &raw(const std::string &name,
+                           ParamType type) const;
+};
+
+namespace spec_schema {
+
+/** @return The ParamSpec `name` resolves to (aliases included). */
+const ParamSpec *findParam(const std::vector<ParamSpec> &params,
+                           const std::string &name);
+
+/**
+ * Validate one raw value against its ParamSpec and canonicalize it.
+ */
+bool canonicalizeValue(const ParamSpec &param, const std::string &raw,
+                       std::string &canonical, std::string &error);
+
+/**
+ * Assert every declared default canonicalizes — registration-time
+ * schema sanity, fatal on violation.
+ *
+ * @param owner Diagnostic label ("protocol 'rr1'").
+ */
+void validateDefaults(const std::string &owner,
+                      const std::vector<ParamSpec> &params);
+
+/**
+ * Parse the option text after a spec's `key:` against a schema,
+ * producing explicit params in canonical declaration order.
+ *
+ * @param noun What kind of thing the schema describes ("protocol"),
+ *        used verbatim in diagnostics.
+ * @param key The already-resolved spec key, for diagnostics.
+ * @param options_text The text after the colon (may be empty); pass
+ *        had_colon=false when the spec had no colon at all.
+ * @param out Receives the canonical explicit params on success.
+ * @param error Receives a message naming the offending token (with a
+ *        did-you-mean hint where one is close) on failure.
+ * @retval false The options did not validate.
+ */
+bool parseOptions(const std::string &noun, const std::string &key,
+                  const std::vector<ParamSpec> &params,
+                  const std::vector<SpecSugar> &sugar,
+                  const std::string &options_text, bool had_colon,
+                  std::vector<std::pair<std::string, std::string>> &out,
+                  std::string &error);
+
+/**
+ * Re-validate a hand-built spec's explicit params against the schema,
+ * fatal on violation (the instantiate() safety net).
+ */
+void revalidateOrDie(const std::string &noun, const std::string &key,
+                     const std::vector<ParamSpec> &params,
+                     const SpecInstance &spec);
+
+/**
+ * Print one descriptor's parameter and sugar rows for a catalogue
+ * table (the shared layout under each --list-* entry).
+ */
+void printParamRows(std::ostream &os,
+                    const std::vector<ParamSpec> &params,
+                    const std::vector<SpecSugar> &sugar);
+
+} // namespace spec_schema
+
+/**
+ * @return The closest candidate within edit distance 2 of `given`, or
+ *         "" when nothing is close (did-you-mean support).
+ */
+std::string closestMatch(const std::string &given,
+                         const std::vector<std::string> &candidates);
+
+/** @return "; did you mean 'X'?" via closestMatch, or "". */
+std::string didYouMeanHint(const std::string &given,
+                           const std::vector<std::string> &candidates);
+
+} // namespace busarb
+
+#endif // BUSARB_EXPERIMENT_SPEC_SCHEMA_HH

@@ -1,9 +1,12 @@
 #include "experiment/sweep_cells.hh"
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 
 #include "experiment/cli.hh"
 #include "experiment/protocol_registry.hh"
+#include "experiment/workload_registry.hh"
 #include "obs/export_format.hh"
 
 namespace busarb {
@@ -34,8 +37,16 @@ sweepCellConfig(const ScenarioSpec &spec, const SweepTuning &tuning,
                 const std::string &program, std::size_t cell)
 {
     const std::string &token = spec.cellLoadToken(cell);
-    parseDoubleTokenOrExit(program, "loads", token);
+    // Sources without a load axis sweep the placeholder token "-",
+    // which is not a number and carries no load to validate.
+    if (spec.sourceTakesLoads())
+        parseDoubleTokenOrExit(program, "loads", token);
     ScenarioConfig config = spec.configForLoad(token);
+    const std::string workload_error = validateWorkloadRun(config);
+    if (!workload_error.empty()) {
+        std::cerr << program << ": " << workload_error << "\n";
+        std::exit(2);
+    }
     config.captureBinaryTrace = tuning.captureTrace;
     config.auditFairness = tuning.fairness;
     config.fairnessWindowUnits = tuning.fairnessWindow;

@@ -25,7 +25,11 @@ RunHealthMonitor::onBatch(double sim_time_units, double wait_mean,
 ConvergenceVerdict
 RunHealthMonitor::verdict() const
 {
-    return worseVerdict(wait_.verdict(), util_.verdict());
+    const ConvergenceVerdict measured =
+        worseVerdict(wait_.verdict(), util_.verdict());
+    if (saturated_)
+        return worseVerdict(measured, ConvergenceVerdict::kSaturated);
+    return measured;
 }
 
 RunHealthReport

@@ -122,6 +122,15 @@ class RunHealthMonitor
     /** @return The utilization monitor (secondary measure). */
     const ConvergenceMonitor &utilizationMonitor() const { return util_; }
 
+    /**
+     * Record that the runner's saturation detector fired: the workload
+     * was open-loop and backlog grew without bound over the measurement
+     * period. Forces the combined verdict to kSaturated so the exported
+     * gauge, the snapshots and the CLI report all agree — the batch
+     * means may look perfectly converged while the queues diverge.
+     */
+    void noteSaturated() { saturated_ = true; }
+
     /** @return Combined verdict (worst across measures). */
     ConvergenceVerdict verdict() const;
 
@@ -153,6 +162,7 @@ class RunHealthMonitor
     ConvergenceMonitor wait_;
     ConvergenceMonitor util_;
     std::string snapshots_;
+    bool saturated_ = false;
 
     /** Append one JSONL line for the batch ending at `sim_time_units`. */
     void writeSnapshotLine(double sim_time_units);

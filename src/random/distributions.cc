@@ -1,6 +1,7 @@
 #include "random/distributions.hh"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -138,6 +139,48 @@ std::unique_ptr<Distribution>
 HyperExponentialDistribution::clone() const
 {
     return std::make_unique<HyperExponentialDistribution>(mean_, cv_);
+}
+
+// ------------------------------------------------------------------ Pareto
+
+ParetoDistribution::ParetoDistribution(double mean, double alpha)
+    : mean_(mean), alpha_(alpha)
+{
+    BUSARB_ASSERT(mean > 0.0, "non-positive Pareto mean: ", mean);
+    BUSARB_ASSERT(alpha > 1.0, "Pareto tail index must be > 1, got ",
+                  alpha);
+    scale_ = mean * (alpha - 1.0) / alpha;
+}
+
+double
+ParetoDistribution::sample(Rng &rng) const
+{
+    // Inverse CDF: F^-1(u) = x_m * (1 - u)^(-1/alpha); uniformPositive
+    // avoids the u == 1 pole.
+    return scale_ * std::pow(rng.uniformPositive(), -1.0 / alpha_);
+}
+
+double
+ParetoDistribution::cv() const
+{
+    // Finite only for alpha > 2: CV^2 = 1 / (alpha * (alpha - 2)).
+    if (alpha_ <= 2.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / std::sqrt(alpha_ * (alpha_ - 2.0));
+}
+
+std::string
+ParetoDistribution::describe() const
+{
+    std::ostringstream os;
+    os << "Pareto(mean=" << mean_ << ", alpha=" << alpha_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+ParetoDistribution::clone() const
+{
+    return std::make_unique<ParetoDistribution>(mean_, alpha_);
 }
 
 // ----------------------------------------------------------------- factory

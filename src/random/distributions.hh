@@ -138,6 +138,38 @@ class HyperExponentialDistribution : public Distribution
 };
 
 /**
+ * Classic (Type I) Pareto distribution, parameterized by mean and tail
+ * index: X = x_m * U^(-1/alpha) with x_m = mean * (alpha - 1) / alpha.
+ *
+ * Heavy-tail inter-arrival model for the open-loop workload sources:
+ * alpha in (1, 2] gives a finite mean with infinite variance, the
+ * regime where transient bursts dominate the queueing behaviour.
+ */
+class ParetoDistribution : public Distribution
+{
+  public:
+    /**
+     * @param mean The mean; must be > 0.
+     * @param alpha Tail index; must be > 1 (finite mean).
+     */
+    ParetoDistribution(double mean, double alpha);
+
+    double sample(Rng &rng) const override;
+    double mean() const override { return mean_; }
+    double cv() const override;
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return The tail index alpha. */
+    double alpha() const { return alpha_; }
+
+  private:
+    double mean_;
+    double alpha_;
+    double scale_; // x_m
+};
+
+/**
  * Build the distribution the paper prescribes for a given mean and CV.
  *
  * CV == 0 -> deterministic; CV == 1 -> exponential; 0 < CV < 1 -> Erlang

@@ -18,6 +18,8 @@ verdictName(ConvergenceVerdict v)
         return "underconverged";
       case ConvergenceVerdict::kTransientContaminated:
         return "transient-contaminated";
+      case ConvergenceVerdict::kSaturated:
+        return "saturated";
     }
     BUSARB_PANIC("unknown verdict ", static_cast<int>(v));
 }

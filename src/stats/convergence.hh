@@ -34,6 +34,7 @@ enum class ConvergenceVerdict {
     kConverged = 0,             ///< every check passed
     kUnderconverged = 1,        ///< CI too wide or batches correlated
     kTransientContaminated = 2, ///< warm-up transient leaked into batches
+    kSaturated = 3,             ///< open-loop backlog grew without bound
 };
 
 /** @return Stable lowercase name ("converged", "underconverged", ...). */

@@ -1,0 +1,43 @@
+#include "stats/open_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+namespace {
+
+double
+checkedRho(double arrival_rate, double service_time)
+{
+    BUSARB_ASSERT(arrival_rate > 0.0, "arrival rate must be positive");
+    BUSARB_ASSERT(service_time > 0.0, "service time must be positive");
+    const double rho = arrival_rate * service_time;
+    BUSARB_ASSERT(rho < 1.0, "open queue is unstable: rho = ", rho);
+    return rho;
+}
+
+} // namespace
+
+OpenQueueResult
+mm1(double arrival_rate, double service_time)
+{
+    OpenQueueResult r;
+    r.utilization = checkedRho(arrival_rate, service_time);
+    r.meanResponse = service_time / (1.0 - r.utilization);
+    r.meanInSystem = arrival_rate * r.meanResponse;
+    return r;
+}
+
+OpenQueueResult
+md1(double arrival_rate, double service_time)
+{
+    OpenQueueResult r;
+    r.utilization = checkedRho(arrival_rate, service_time);
+    r.meanResponse =
+        service_time +
+        r.utilization * service_time / (2.0 * (1.0 - r.utilization));
+    r.meanInSystem = arrival_rate * r.meanResponse;
+    return r;
+}
+
+} // namespace busarb

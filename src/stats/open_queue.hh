@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Closed-form open single-server queues: M/M/1 and M/D/1.
+ *
+ * Companions to the machine-repairman (M/M/1//N) model for the
+ * open-loop workload sources: a Poisson-arrival bus with deterministic
+ * transaction time S is exactly an M/D/1 queue (ignoring arbitration
+ * overhead), and M/M/1 brackets it from above — so the simulator's
+ * open-loop mean wait must land between the two closed forms, minus
+ * the exposed-arbitration component. Used by the tests that validate
+ * the open Poisson source end to end.
+ */
+
+#ifndef BUSARB_STATS_OPEN_QUEUE_HH
+#define BUSARB_STATS_OPEN_QUEUE_HH
+
+namespace busarb {
+
+/** Steady-state results of an open single-server queue. */
+struct OpenQueueResult
+{
+    /** Server utilization rho = lambda * S; < 1 for stability. */
+    double utilization = 0.0;
+
+    /** Mean response time (queueing + service), time units. */
+    double meanResponse = 0.0;
+
+    /** Mean number in system (Little: L = lambda * R). */
+    double meanInSystem = 0.0;
+};
+
+/**
+ * M/M/1: Poisson arrivals, exponential service.
+ *
+ * @param arrival_rate lambda, arrivals per time unit; > 0.
+ * @param service_time Mean service time S; > 0, lambda * S < 1.
+ * @return Steady-state measures (R = S / (1 - rho)).
+ */
+OpenQueueResult mm1(double arrival_rate, double service_time);
+
+/**
+ * M/D/1: Poisson arrivals, deterministic service
+ * (Pollaczek-Khinchine with CV = 0).
+ *
+ * @param arrival_rate lambda, arrivals per time unit; > 0.
+ * @param service_time Service time S; > 0, lambda * S < 1.
+ * @return Steady-state measures (R = S + rho * S / (2 * (1 - rho))).
+ */
+OpenQueueResult md1(double arrival_rate, double service_time);
+
+} // namespace busarb
+
+#endif // BUSARB_STATS_OPEN_QUEUE_HH

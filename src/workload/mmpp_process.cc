@@ -1,0 +1,96 @@
+#include "workload/mmpp_process.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace busarb {
+
+MmppProcess::MmppProcess(const MmppParams &params) : params_(params)
+{
+    BUSARB_ASSERT(params.rateOn > 0.0, "rateOn must be positive");
+    BUSARB_ASSERT(params.rateOff >= 0.0, "rateOff must be >= 0");
+    BUSARB_ASSERT(params.meanOnTime > 0.0, "meanOnTime must be positive");
+    BUSARB_ASSERT(params.meanOffTime > 0.0,
+                  "meanOffTime must be positive");
+}
+
+double
+MmppProcess::averageRate() const
+{
+    const double p_on = params_.meanOnTime /
+                        (params_.meanOnTime + params_.meanOffTime);
+    return p_on * params_.rateOn + (1.0 - p_on) * params_.rateOff;
+}
+
+double
+MmppProcess::sample(Rng &rng) const
+{
+    // Competing exponentials from the current phase: whichever of
+    // (next arrival, phase switch) fires first wins; exponential dwell
+    // times are memoryless, so re-drawing the residual dwell at each
+    // step is exact.
+    double elapsed = 0.0;
+    while (true) {
+        const double rate = on_ ? params_.rateOn : params_.rateOff;
+        const double dwell =
+            on_ ? params_.meanOnTime : params_.meanOffTime;
+        const double to_switch =
+            -dwell * std::log(rng.uniformPositive());
+        if (rate > 0.0) {
+            const double to_arrival =
+                -std::log(rng.uniformPositive()) / rate;
+            if (to_arrival <= to_switch)
+                return elapsed + to_arrival;
+        }
+        elapsed += to_switch;
+        on_ = !on_;
+    }
+}
+
+double
+MmppProcess::mean() const
+{
+    const double rate = averageRate();
+    BUSARB_ASSERT(rate > 0.0, "MMPP with zero average rate");
+    return 1.0 / rate;
+}
+
+double
+MmppProcess::cv() const
+{
+    // Arrival-weighted hyperexponential approximation: condition each
+    // inter-arrival on the phase its predecessor arrived in and ignore
+    // phase changes in between. Exact in the long-dwell limit.
+    const double lambda = averageRate();
+    const double p_on = params_.meanOnTime /
+                        (params_.meanOnTime + params_.meanOffTime);
+    const double q = p_on * params_.rateOn / lambda;
+    if (params_.rateOff <= 0.0)
+        return 1.0;
+    const double m = q / params_.rateOn + (1.0 - q) / params_.rateOff;
+    const double second =
+        2.0 * (q / (params_.rateOn * params_.rateOn) +
+               (1.0 - q) / (params_.rateOff * params_.rateOff));
+    const double var = second - m * m;
+    return var > 0.0 ? std::sqrt(var) / m : 0.0;
+}
+
+std::string
+MmppProcess::describe() const
+{
+    std::ostringstream os;
+    os << "MMPP(on=" << params_.rateOn << "x" << params_.meanOnTime
+       << ", off=" << params_.rateOff << "x" << params_.meanOffTime
+       << ")";
+    return os.str();
+}
+
+std::unique_ptr<Distribution>
+MmppProcess::clone() const
+{
+    return std::make_unique<MmppProcess>(params_);
+}
+
+} // namespace busarb

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A two-state Markov-modulated Poisson inter-arrival process (MMPP-2).
+ *
+ * Where OnOffProcess modulates *think* times by request count (a
+ * closed-loop notion), this process modulates an *arrival rate* by
+ * dwell time: the source alternates between an ON phase with a high
+ * Poisson rate and an OFF phase with a low rate, with exponentially
+ * distributed phase durations. Successive sample() calls return the
+ * (correlated) inter-arrival times of the resulting point process —
+ * the canonical bursty-traffic model for open-loop sources.
+ *
+ * The object is stateful: successive sample() calls walk the phase
+ * chain. clone() returns a fresh process in the initial (ON) state.
+ */
+
+#ifndef BUSARB_WORKLOAD_MMPP_PROCESS_HH
+#define BUSARB_WORKLOAD_MMPP_PROCESS_HH
+
+#include <memory>
+#include <string>
+
+#include "random/distributions.hh"
+
+namespace busarb {
+
+/** Parameters of the two-state MMPP. */
+struct MmppParams
+{
+    /** Arrival rate while ON (bursting); > 0, per transaction unit. */
+    double rateOn = 1.0;
+
+    /** Arrival rate while OFF (quiet); >= 0, per transaction unit. */
+    double rateOff = 0.1;
+
+    /** Mean ON-phase duration in transaction units; > 0. */
+    double meanOnTime = 8.0;
+
+    /** Mean OFF-phase duration in transaction units; > 0. */
+    double meanOffTime = 32.0;
+};
+
+/**
+ * MMPP-2 inter-arrival time process.
+ */
+class MmppProcess : public Distribution
+{
+  public:
+    explicit MmppProcess(const MmppParams &params);
+
+    /** Draw the next inter-arrival time and advance the phase chain. */
+    double sample(Rng &rng) const override;
+
+    /** @return The long-run mean inter-arrival time. */
+    double mean() const override;
+
+    /**
+     * @return Approximate marginal CV (hyperexponential limit that
+     *         ignores phase changes between arrivals).
+     */
+    double cv() const override;
+
+    std::string describe() const override;
+    std::unique_ptr<Distribution> clone() const override;
+
+    /** @return True while the process is in the ON phase. */
+    bool isOn() const { return on_; }
+
+    /** @return Time-average arrival rate. */
+    double averageRate() const;
+
+  private:
+    MmppParams params_;
+    mutable bool on_ = true;
+};
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_MMPP_PROCESS_HH

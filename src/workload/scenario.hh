@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bus/bus.hh"
@@ -27,6 +28,16 @@ struct ScenarioConfig
 
     /** Per-agent workload; index i describes agent i+1. */
     std::vector<AgentTraits> agents;
+
+    /**
+     * Workload-source spec (experiment/workload_registry.hh grammar):
+     * "closed" is the paper's think/request/service loop; "open:...",
+     * "onoff:..." and "trace:..." select the open-loop, bursty and
+     * trace-replay generators. The agents vector still carries the
+     * per-agent load shape; the source decides whether load means
+     * think-time scaling (closed) or arrival-rate scaling (open).
+     */
+    std::string workloadSpec = "closed";
 
     /** Base seed; each agent gets an independent sub-stream. */
     std::uint64_t seed = 0x5eedcafe;

@@ -1,0 +1,181 @@
+#include "workload/workload_source.hh"
+
+#include <utility>
+
+#include "random/rng.hh"
+#include "sim/logging.hh"
+#include "workload/scenario.hh"
+
+namespace busarb {
+
+// ----------------------------------------------------------------- closed
+
+ClosedWorkloadSource::ClosedWorkloadSource(EventQueue &queue, Bus &bus,
+                                           const ScenarioConfig &config,
+                                           ThinkFactory think)
+{
+    // This loop is the historical runner wiring, verbatim: agents are
+    // constructed in id order, each forking the base stream at its own
+    // id, so `source=closed` runs are byte-identical to pre-seam runs.
+    Rng base(config.seed);
+    agents_.reserve(static_cast<std::size_t>(config.numAgents));
+    for (AgentId a = 1; a <= config.numAgents; ++a) {
+        const AgentTraits &traits =
+            config.agents[static_cast<std::size_t>(a - 1)];
+        Rng rng = base.fork(static_cast<std::uint64_t>(a));
+        if (think) {
+            agents_.push_back(std::make_unique<ClosedAgent>(
+                queue, bus, a, traits, std::move(rng),
+                think(a, traits)));
+        } else {
+            agents_.push_back(std::make_unique<ClosedAgent>(
+                queue, bus, a, traits, std::move(rng)));
+        }
+    }
+}
+
+void
+ClosedWorkloadSource::start()
+{
+    for (auto &agent : agents_)
+        agent->start();
+}
+
+void
+ClosedWorkloadSource::onServiceEnd(AgentId agent, Tick now)
+{
+    agents_[static_cast<std::size_t>(agent - 1)]->onServiceEnd(now);
+}
+
+void
+ClosedWorkloadSource::setThinkSink(ThinkSink *sink)
+{
+    for (auto &agent : agents_)
+        agent->setThinkSink(sink);
+}
+
+std::uint64_t
+ClosedWorkloadSource::issued() const
+{
+    std::uint64_t total = 0;
+    for (const auto &agent : agents_)
+        total += agent->issued();
+    return total;
+}
+
+std::uint64_t
+ClosedWorkloadSource::issuedBy(AgentId agent) const
+{
+    return agents_[static_cast<std::size_t>(agent - 1)]->issued();
+}
+
+// ------------------------------------------------------------------- open
+
+OpenWorkloadSource::OpenWorkloadSource(EventQueue &queue, Bus &bus,
+                                       const ScenarioConfig &config,
+                                       ArrivalFactory arrivals)
+    : queue_(queue), bus_(bus)
+{
+    BUSARB_ASSERT(static_cast<bool>(arrivals),
+                  "open workload source needs an arrival factory");
+    Rng base(config.seed);
+    agents_.reserve(static_cast<std::size_t>(config.numAgents));
+    for (AgentId a = 1; a <= config.numAgents; ++a) {
+        const AgentTraits &traits =
+            config.agents[static_cast<std::size_t>(a - 1)];
+        Agent agent{a, traits, base.fork(static_cast<std::uint64_t>(a)),
+                    arrivals(a, traits), 0};
+        BUSARB_ASSERT(agent.arrivals != nullptr,
+                      "null arrival process for agent ", a);
+        agents_.push_back(std::move(agent));
+    }
+}
+
+void
+OpenWorkloadSource::start()
+{
+    for (auto &agent : agents_)
+        scheduleArrival(agent);
+}
+
+void
+OpenWorkloadSource::scheduleArrival(Agent &agent)
+{
+    const double gap = agent.arrivals->sample(agent.rng);
+    queue_.scheduleIn(unitsToTicks(gap),
+                      [this, &agent] { arrive(agent); },
+                      kPriRequestArrival);
+}
+
+void
+OpenWorkloadSource::arrive(Agent &agent)
+{
+    if (agent.traits.stopAfterRequests != 0 &&
+        agent.issued >= agent.traits.stopAfterRequests) {
+        return; // the device has dropped off the bus
+    }
+    const bool priority =
+        agent.traits.priorityFraction > 0.0 &&
+        agent.rng.uniform() < agent.traits.priorityFraction;
+    ++agent.issued;
+    ++issued_;
+    bus_.postRequest(agent.id, priority);
+    scheduleArrival(agent);
+}
+
+void
+OpenWorkloadSource::onServiceEnd(AgentId agent, Tick now)
+{
+    // Open loop: arrivals never react to service.
+    (void)agent;
+    (void)now;
+}
+
+std::uint64_t
+OpenWorkloadSource::issuedBy(AgentId agent) const
+{
+    return agents_[static_cast<std::size_t>(agent - 1)].issued;
+}
+
+// ------------------------------------------------------------------ trace
+
+TraceWorkloadSource::TraceWorkloadSource(EventQueue &queue, Bus &bus,
+                                         RequestTrace trace)
+    : queue_(queue), bus_(bus), trace_(std::move(trace)),
+      issuedBy_(static_cast<std::size_t>(bus.numAgents()), 0)
+{
+    BUSARB_ASSERT(trace_.maxAgent() <= bus.numAgents(),
+                  "trace references agent ", trace_.maxAgent(),
+                  " but the bus has only ", bus.numAgents());
+}
+
+void
+TraceWorkloadSource::start()
+{
+    for (const auto &entry : trace_.entries()) {
+        queue_.schedule(entry.when,
+                        [this, entry] {
+                            ++issued_;
+                            ++issuedBy_[static_cast<std::size_t>(
+                                entry.agent - 1)];
+                            bus_.postRequest(entry.agent,
+                                             entry.priority);
+                        },
+                        kPriRequestArrival);
+    }
+}
+
+void
+TraceWorkloadSource::onServiceEnd(AgentId agent, Tick now)
+{
+    (void)agent;
+    (void)now;
+}
+
+std::uint64_t
+TraceWorkloadSource::issuedBy(AgentId agent) const
+{
+    return issuedBy_[static_cast<std::size_t>(agent - 1)];
+}
+
+} // namespace busarb

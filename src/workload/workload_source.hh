@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The workload-source seam: one object that owns a scenario's traffic
+ * generation, whatever its shape.
+ *
+ * The paper's Section 4 workload is closed-loop — each agent cycles
+ * think -> request -> service, capping pressure at N outstanding
+ * requests. Production traffic is not so polite: open-loop arrivals
+ * keep coming regardless of service, bursts correlate, and recorded
+ * traces must be replayable against any protocol. WorkloadSource
+ * abstracts over all of these so the experiment runner drives exactly
+ * one interface; concrete sources are built by the workload registry
+ * (experiment/workload_registry.hh) from `source=` spec strings.
+ */
+
+#ifndef BUSARB_WORKLOAD_WORKLOAD_SOURCE_HH
+#define BUSARB_WORKLOAD_WORKLOAD_SOURCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bus/bus.hh"
+#include "random/distributions.hh"
+#include "sim/event_queue.hh"
+#include "workload/closed_agent.hh"
+#include "workload/trace_workload.hh"
+
+namespace busarb {
+
+struct ScenarioConfig;
+
+/**
+ * Generates a scenario's bus requests. One instance per run, owned by
+ * the runner; start() is called once before the first event, and
+ * onServiceEnd() after every completed transaction (closed-loop
+ * sources schedule their next think from it, open-loop sources ignore
+ * it).
+ */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /** Schedule the initial request(s)/arrivals; call once. */
+    virtual void start() = 0;
+
+    /** The bus finished serving one of `agent`'s requests. */
+    virtual void onServiceEnd(AgentId agent, Tick now) = 0;
+
+    /** Set the sink receiving think-time samples (may be nullptr). */
+    virtual void setThinkSink(ThinkSink *sink) { (void)sink; }
+
+    /**
+     * @return True when arrivals are independent of service (open
+     *         loop): queues are unbounded and saturation is possible,
+     *         so the runner tracks backlog and offered-vs-carried load.
+     */
+    virtual bool openLoop() const = 0;
+
+    /** @return Requests issued so far, across all agents. */
+    virtual std::uint64_t issued() const = 0;
+
+    /** @return Requests issued so far by one agent. */
+    virtual std::uint64_t issuedBy(AgentId agent) const = 0;
+
+    /**
+     * @return The total number of requests this source can ever issue,
+     *         or 0 when unbounded. Finite sources (trace replay) must
+     *         cover warmup + batches * batchSize completions or the
+     *         run would deadlock; the runner checks this up front.
+     */
+    virtual std::uint64_t capacity() const { return 0; }
+};
+
+/**
+ * The paper's closed-loop workload: one ClosedAgent per agent, each
+ * with its own forked RNG stream. Construction order and RNG forking
+ * replicate the historical runner wiring exactly, so `source=closed`
+ * scenarios are byte-identical to runs that predate the seam.
+ */
+class ClosedWorkloadSource : public WorkloadSource
+{
+  public:
+    /**
+     * Builds one agent's think-time process; nullptr selects the
+     * traits' (mean, CV) renewal distribution.
+     */
+    using ThinkFactory = std::function<std::unique_ptr<Distribution>(
+        AgentId, const AgentTraits &)>;
+
+    ClosedWorkloadSource(EventQueue &queue, Bus &bus,
+                         const ScenarioConfig &config,
+                         ThinkFactory think = nullptr);
+
+    void start() override;
+    void onServiceEnd(AgentId agent, Tick now) override;
+    void setThinkSink(ThinkSink *sink) override;
+    bool openLoop() const override { return false; }
+    std::uint64_t issued() const override;
+    std::uint64_t issuedBy(AgentId agent) const override;
+
+  private:
+    std::vector<std::unique_ptr<ClosedAgent>> agents_;
+};
+
+/**
+ * Open-loop renewal/modulated arrivals: each agent posts requests at
+ * instants drawn from its inter-arrival process, regardless of how the
+ * bus is coping. Backlog is unbounded; the runner's saturation
+ * detector turns an unstable cell into a verdict instead of a hang.
+ */
+class OpenWorkloadSource : public WorkloadSource
+{
+  public:
+    /** Builds one agent's inter-arrival process (required). */
+    using ArrivalFactory = std::function<std::unique_ptr<Distribution>(
+        AgentId, const AgentTraits &)>;
+
+    OpenWorkloadSource(EventQueue &queue, Bus &bus,
+                       const ScenarioConfig &config,
+                       ArrivalFactory arrivals);
+
+    void start() override;
+    void onServiceEnd(AgentId agent, Tick now) override;
+    bool openLoop() const override { return true; }
+    std::uint64_t issued() const override { return issued_; }
+    std::uint64_t issuedBy(AgentId agent) const override;
+
+  private:
+    struct Agent
+    {
+        AgentId id = 0;
+        AgentTraits traits;
+        Rng rng;
+        std::unique_ptr<Distribution> arrivals;
+        std::uint64_t issued = 0;
+    };
+
+    EventQueue &queue_;
+    Bus &bus_;
+    std::vector<Agent> agents_;
+    std::uint64_t issued_ = 0;
+
+    void scheduleArrival(Agent &agent);
+    void arrive(Agent &agent);
+};
+
+/**
+ * Replays a fixed RequestTrace, open loop: every entry is posted at
+ * its recorded tick whatever the bus is doing — record once, re-drive
+ * any protocol with the identical arrival sequence.
+ */
+class TraceWorkloadSource : public WorkloadSource
+{
+  public:
+    /**
+     * @param bus Target bus; must have at least trace.maxAgent()
+     *        agents.
+     * @param trace The schedule to replay (moved in).
+     */
+    TraceWorkloadSource(EventQueue &queue, Bus &bus, RequestTrace trace);
+
+    void start() override;
+    void onServiceEnd(AgentId agent, Tick now) override;
+    bool openLoop() const override { return true; }
+    std::uint64_t issued() const override { return issued_; }
+    std::uint64_t issuedBy(AgentId agent) const override;
+    std::uint64_t capacity() const override { return trace_.size(); }
+
+  private:
+    EventQueue &queue_;
+    Bus &bus_;
+    RequestTrace trace_;
+    std::uint64_t issued_ = 0;
+    std::vector<std::uint64_t> issuedBy_; // index 0 -> agent 1
+};
+
+} // namespace busarb
+
+#endif // BUSARB_WORKLOAD_WORKLOAD_SOURCE_HH

@@ -289,6 +289,110 @@ TEST(ScenarioSpecFlagsTest, WasSetTracksExplicitFlagsOnly)
     EXPECT_FALSE(parser.wasSet("scenario"));
 }
 
+TEST(ScenarioSpecSourceTest, DefaultSourceIsClosedAndOmittedFromFormat)
+{
+    const ScenarioSpec spec = parseOk("");
+    EXPECT_EQ(spec.source, "closed");
+    EXPECT_TRUE(spec.sourceTakesLoads());
+    // Pre-seam scenario text must format (and hence hash) identically,
+    // so the default source never appears in the canonical form.
+    EXPECT_EQ(spec.format().find("source"), std::string::npos);
+}
+
+TEST(ScenarioSpecSourceTest, SourceRoundTripsVerbatim)
+{
+    const ScenarioSpec spec =
+        parseOk("[workload]\nsource = open:dist=mmpp,burst=4\n"
+                "[sweep]\nloads = 0.5 1\nprotocols = rr1\n");
+    EXPECT_EQ(spec.source, "open:dist=mmpp,burst=4");
+    EXPECT_NE(spec.format().find("source = open:dist=mmpp,burst=4"),
+              std::string::npos);
+    const ScenarioSpec again = parseOk(spec.format());
+    EXPECT_EQ(again.format(), spec.format());
+}
+
+TEST(ScenarioSpecSourceTest, BadSourceSpecsFailWithLineNumbers)
+{
+    EXPECT_EQ(parseError("[workload]\nsource = opne\n"),
+              "line 2: bad workload source 'opne': unknown workload "
+              "source key 'opne'; did you mean 'open'?");
+}
+
+TEST(ScenarioSpecSourceTest, TraceSourcesHaveNoLoadAxis)
+{
+    const ScenarioSpec spec =
+        parseOk("[workload]\nsource = trace:file=x.trace\n"
+                "[sweep]\nprotocols = rr1 fcfs1\n");
+    EXPECT_FALSE(spec.sourceTakesLoads());
+    EXPECT_EQ(spec.loadAxis(), std::vector<std::string>{"-"});
+    EXPECT_EQ(spec.cellCount(), 2u);
+    EXPECT_EQ(spec.cellLoadToken(0), "-");
+
+    EXPECT_EQ(parseError("[workload]\nsource = trace:file=x.trace\n"
+                         "load = 2\n"),
+              "workload source 'trace:file=x.trace' takes no loads "
+              "(it fixes its own arrival schedule)");
+}
+
+TEST(ScenarioSpecSourceTest, ConfigCarriesTheSpecVerbatim)
+{
+    const ScenarioSpec spec =
+        parseOk("[workload]\nsource = open:rate=2\nload = 0.5\n");
+    const ScenarioConfig config = spec.configForLoad("0.5");
+    EXPECT_EQ(config.workloadSpec, "open:rate=2");
+    EXPECT_EQ(parseOk("").configForLoad("1").workloadSpec, "closed");
+}
+
+TEST(ScenarioSpecHotMixTest, HotAgentsScaleTheirShare)
+{
+    const ScenarioSpec spec = parseOk("[workload]\nagents = 4\n"
+                                      "hot-agents = 2\nhot-factor = 3\n"
+                                      "load = 0.4\n");
+    const ScenarioConfig config = spec.configForLoad("0.4");
+    // Base per-agent load 0.1; hot agents offer 0.3 each.
+    ASSERT_EQ(config.agents.size(), 4u);
+    const double hot = config.agents[0].meanInterrequest;
+    const double cold = config.agents[2].meanInterrequest;
+    EXPECT_DOUBLE_EQ(config.agents[1].meanInterrequest, hot);
+    EXPECT_DOUBLE_EQ(config.agents[3].meanInterrequest, cold);
+    // interrequestForLoad is monotone decreasing in load, and the hot
+    // agents' offered load is exactly hot-factor times the base.
+    EXPECT_LT(hot, cold);
+    const double s = config.bus.transactionTime;
+    const double hot_load = s / (s + hot);
+    const double cold_load = s / (s + cold);
+    EXPECT_NEAR(hot_load, 3.0 * cold_load, 1e-9);
+}
+
+TEST(ScenarioSpecHotMixTest, RoundTripsAndValidates)
+{
+    const ScenarioSpec spec = parseOk("[workload]\nagents = 8\n"
+                                      "hot-agents = 2\nhot-factor = 3\n"
+                                      "load = 1\n");
+    EXPECT_NE(spec.format().find("hot-agents = 2"), std::string::npos);
+    EXPECT_NE(spec.format().find("hot-factor = 3"), std::string::npos);
+    EXPECT_EQ(parseOk(spec.format()).format(), spec.format());
+    // Defaults stay invisible, preserving pre-seam canonical text.
+    EXPECT_EQ(parseOk("").format().find("hot-"), std::string::npos);
+
+    EXPECT_EQ(parseError("[workload]\nhot-agents = 2\nload = 1\n"),
+              "hot-agents requires hot-factor");
+    EXPECT_EQ(parseError("[workload]\nhot-factor = 2\nload = 1\n"),
+              "hot-factor requires hot-agents");
+    EXPECT_EQ(parseError("[workload]\nagents = 4\nhot-agents = 5\n"
+                         "hot-factor = 2\nload = 1\n"),
+              "hot-agents exceeds agents");
+    EXPECT_NE(parseError("[workload]\nfamily = unequal\n"
+                         "unequal-factor = 2\nhot-agents = 1\n"
+                         "hot-factor = 2\nload = 1\n")
+                  .find("requires family 'equal'"),
+              std::string::npos);
+    EXPECT_NE(parseError("[workload]\nagents = 4\nhot-agents = 2\n"
+                         "hot-factor = 8\nload = 2\n")
+                  .find("pushes a hot agent's offered load"),
+              std::string::npos);
+}
+
 TEST(ScenarioSpecDeathTest, OrExitDistinguishesIoFromParseErrors)
 {
     EXPECT_EXIT(scenarioSpecOrExit("prog", "/nonexistent/x.scenario"),

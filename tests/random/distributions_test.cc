@@ -240,12 +240,54 @@ TEST(QuantileTest, HyperExponentialHasAHeavyTail)
     EXPECT_GT(h2_tail, 3 * expo_tail);
 }
 
+TEST(ParetoTest, SampleMeanMatchesForFiniteVarianceTail)
+{
+    // alpha = 3: finite variance, so the sample mean converges fast.
+    ParetoDistribution d(2.0, 3.0);
+    const auto rs = sampleStats(d, 400000);
+    EXPECT_NEAR(rs.mean(), 2.0, 0.03);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_NEAR(d.cv(), 1.0 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(ParetoTest, SamplesNeverFallBelowScale)
+{
+    // X = x_m * U^(-1/alpha) >= x_m = mean * (alpha - 1) / alpha.
+    ParetoDistribution d(1.0, 1.5);
+    const double x_m = 1.0 * 0.5 / 1.5;
+    Rng rng(31);
+    for (int i = 0; i < 100000; ++i)
+        EXPECT_GE(d.sample(rng), x_m);
+}
+
+TEST(ParetoTest, InfiniteVarianceRegimeIsHeavierThanExponential)
+{
+    // alpha in (1, 2] has infinite variance: far more tail mass than
+    // an exponential with the same mean.
+    ParetoDistribution pareto(1.0, 1.5);
+    ExponentialDistribution expo(1.0);
+    EXPECT_TRUE(std::isinf(pareto.cv()));
+    Rng rng(88);
+    const int n = 200000;
+    int pareto_tail = 0;
+    int expo_tail = 0;
+    for (int i = 0; i < n; ++i) {
+        if (pareto.sample(rng) > 8.0)
+            ++pareto_tail;
+        if (expo.sample(rng) > 8.0)
+            ++expo_tail;
+    }
+    EXPECT_GT(pareto_tail, 3 * expo_tail);
+}
+
 TEST(DistributionDeathTest, InvalidParametersPanic)
 {
     EXPECT_DEATH(DeterministicDistribution(-1.0), "negative");
     EXPECT_DEATH(ExponentialDistribution(0.0), "non-positive");
     EXPECT_DEATH(ErlangDistribution(0, 1.0), "stage count");
     EXPECT_DEATH(ErlangDistribution(3, -2.0), "non-positive");
+    EXPECT_DEATH(ParetoDistribution(0.0, 1.5), "non-positive");
+    EXPECT_DEATH(ParetoDistribution(1.0, 1.0), "tail index");
 }
 
 } // namespace

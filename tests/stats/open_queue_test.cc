@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Closed-form checks for the open single-server queues (M/M/1, M/D/1)
+ * that anchor the open-loop workload tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/open_queue.hh"
+
+namespace busarb {
+namespace {
+
+TEST(OpenQueueTest, Mm1MatchesTextbookValues)
+{
+    // rho = 0.5: R = S / (1 - rho) = 2, L = lambda * R = 1.
+    const OpenQueueResult r = mm1(0.5, 1.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.5);
+    EXPECT_DOUBLE_EQ(r.meanResponse, 2.0);
+    EXPECT_DOUBLE_EQ(r.meanInSystem, 1.0);
+}
+
+TEST(OpenQueueTest, Md1MatchesPollaczekKhinchine)
+{
+    // rho = 0.5: R = S + rho * S / (2 * (1 - rho)) = 1.5.
+    const OpenQueueResult r = md1(0.5, 1.0);
+    EXPECT_DOUBLE_EQ(r.utilization, 0.5);
+    EXPECT_DOUBLE_EQ(r.meanResponse, 1.5);
+    EXPECT_DOUBLE_EQ(r.meanInSystem, 0.75);
+}
+
+TEST(OpenQueueTest, Md1BracketedByMm1FromAbove)
+{
+    // Deterministic service halves the queueing delay of exponential
+    // service (PK with CV = 0), so M/D/1 <= M/M/1 at every load.
+    for (const double rho : {0.1, 0.3, 0.5, 0.7, 0.9, 0.95}) {
+        const OpenQueueResult e = mm1(rho, 1.0);
+        const OpenQueueResult d = md1(rho, 1.0);
+        EXPECT_LT(d.meanResponse, e.meanResponse) << "rho=" << rho;
+        EXPECT_GE(d.meanResponse, 1.0) << "rho=" << rho;
+    }
+}
+
+TEST(OpenQueueTest, LittlesLawHoldsAcrossLoads)
+{
+    for (const double lambda : {0.2, 0.6, 0.85}) {
+        for (const double s : {0.5, 1.0}) {
+            const OpenQueueResult e = mm1(lambda, s);
+            EXPECT_NEAR(e.meanInSystem, lambda * e.meanResponse, 1e-12);
+            const OpenQueueResult d = md1(lambda, s);
+            EXPECT_NEAR(d.meanInSystem, lambda * d.meanResponse, 1e-12);
+        }
+    }
+}
+
+TEST(OpenQueueTest, ResponseDivergesNearSaturation)
+{
+    EXPECT_GT(mm1(0.999, 1.0).meanResponse, 500.0);
+    EXPECT_GT(md1(0.999, 1.0).meanResponse, 250.0);
+}
+
+} // namespace
+} // namespace busarb

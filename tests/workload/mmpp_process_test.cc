@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the two-state Markov-modulated Poisson arrival process.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/autocorrelation.hh"
+#include "stats/welford.hh"
+#include "workload/mmpp_process.hh"
+
+namespace busarb {
+namespace {
+
+TEST(MmppProcessTest, LongRunRateMatchesPhaseWeightedAverage)
+{
+    MmppParams params;
+    params.rateOn = 2.0;
+    params.rateOff = 0.1;
+    params.meanOnTime = 8.0;
+    params.meanOffTime = 32.0;
+    MmppProcess process(params);
+    // Time-average rate: (8*2 + 32*0.1) / 40 = 0.48.
+    EXPECT_DOUBLE_EQ(process.averageRate(), 0.48);
+    EXPECT_DOUBLE_EQ(process.mean(), 1.0 / 0.48);
+
+    Rng rng(2024);
+    RunningStats rs;
+    for (int i = 0; i < 400000; ++i)
+        rs.add(process.sample(rng));
+    EXPECT_NEAR(rs.mean(), process.mean(), 0.05 * process.mean());
+}
+
+TEST(MmppProcessTest, BurstierThanPoisson)
+{
+    MmppParams params;
+    params.rateOn = 4.0;
+    params.rateOff = 0.05;
+    params.meanOnTime = 4.0;
+    params.meanOffTime = 40.0;
+    MmppProcess process(params);
+    Rng rng(7);
+    RunningStats rs;
+    for (int i = 0; i < 200000; ++i)
+        rs.add(process.sample(rng));
+    // A rate-modulated point process is over-dispersed: the marginal
+    // inter-arrival CV must exceed the Poisson benchmark of 1.
+    EXPECT_GT(rs.stddev() / rs.mean(), 1.0);
+    EXPECT_GT(process.cv(), 1.0);
+}
+
+TEST(MmppProcessTest, EqualRatesDegenerateToPoisson)
+{
+    MmppParams params;
+    params.rateOn = 0.5;
+    params.rateOff = 0.5;
+    params.meanOnTime = 5.0;
+    params.meanOffTime = 5.0;
+    MmppProcess process(params);
+    EXPECT_DOUBLE_EQ(process.averageRate(), 0.5);
+    Rng rng(99);
+    RunningStats rs;
+    for (int i = 0; i < 300000; ++i)
+        rs.add(process.sample(rng));
+    EXPECT_NEAR(rs.mean(), 2.0, 0.04);
+    EXPECT_NEAR(rs.stddev() / rs.mean(), 1.0, 0.04);
+}
+
+TEST(MmppProcessTest, CloneRestartsInInitialState)
+{
+    MmppParams params;
+    params.rateOn = 3.0;
+    params.rateOff = 0.2;
+    MmppProcess process(params);
+    Rng walk(5);
+    for (int i = 0; i < 1000; ++i)
+        process.sample(walk);
+
+    const auto fresh = process.clone();
+    MmppProcess direct(params);
+    Rng a(42), b(42);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_DOUBLE_EQ(fresh->sample(a), direct.sample(b)) << i;
+}
+
+} // namespace
+} // namespace busarb

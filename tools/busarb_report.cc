@@ -30,6 +30,7 @@
 #include "experiment/run_report.hh"
 #include "experiment/runner.hh"
 #include "experiment/scenario_spec.hh"
+#include "experiment/workload_registry.hh"
 #include "workload/scenario.hh"
 
 using namespace busarb;
@@ -106,7 +107,12 @@ main(int argc, char **argv)
     }
 
     ScenarioConfig config = spec.configForLoad(
-        spec.loadTokens.empty() ? "" : spec.loadTokens.front());
+        spec.loadAxis().empty() ? "" : spec.loadAxis().front());
+    const std::string workload_error = validateWorkloadRun(config);
+    if (!workload_error.empty()) {
+        std::cerr << "busarb_report: " << workload_error << "\n";
+        return 2;
+    }
 
     // A report is the run's full observability surface: health verdict,
     // snapshots, fairness audit, and (unless suppressed) the trace the

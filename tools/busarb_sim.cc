@@ -39,6 +39,7 @@
 #include "experiment/csv.hh"
 #include "experiment/protocol_registry.hh"
 #include "experiment/report.hh"
+#include "experiment/workload_registry.hh"
 #include "experiment/runner.hh"
 #include "experiment/scenario_spec.hh"
 #include "experiment/table.hh"
@@ -63,6 +64,9 @@ main(int argc, char **argv)
     parser.addBoolFlag("list-protocols", false,
                        "print the protocol catalogue (keys, parameters, "
                        "defaults, paper sections) and exit");
+    parser.addBoolFlag("list-workloads", false,
+                       "print the workload-source catalogue (keys, "
+                       "parameters, defaults) and exit");
     addScenarioFlags(parser);
     addQueueFlag(parser);
     parser.addStringFlag("batches-csv", "",
@@ -124,6 +128,10 @@ main(int argc, char **argv)
         ProtocolRegistry::builtin().printTable(std::cout);
         return 0;
     }
+    if (parser.getBool("list-workloads")) {
+        WorkloadRegistry::builtin().printTable(std::cout);
+        return 0;
+    }
 
     // Artifact destinations are validated before the run: a missing
     // parent directory fails in seconds, not after the simulation.
@@ -164,7 +172,14 @@ main(int argc, char **argv)
     }
 
     ScenarioConfig config = spec.configForLoad(
-        spec.loadTokens.empty() ? "" : spec.loadTokens.front());
+        spec.loadAxis().empty() ? "" : spec.loadAxis().front());
+    // Pre-run workload validation (trace readability, length vs run
+    // controls): a doomed run exits 2 here instead of dying mid-run.
+    const std::string workload_error = validateWorkloadRun(config);
+    if (!workload_error.empty()) {
+        std::cerr << "busarb_sim: " << workload_error << "\n";
+        return 2;
+    }
     config.collectHistogram = !parser.getString("histogram-csv").empty();
     config.captureBinaryTrace = !parser.getString("trace-out").empty();
     config.flightRecorderEvents = static_cast<std::size_t>(
@@ -249,6 +264,20 @@ main(int argc, char **argv)
         if (i > 0)
             std::cout << "\n";
         printSummary(results[i], std::cout);
+    }
+    if (result.workload.openLoop) {
+        std::cout << "\n";
+        for (const auto &r : results) {
+            const WorkloadStats &w = r.workload;
+            std::cout << "workload[" << r.protocolName
+                      << "]: source=" << r.workloadSpec
+                      << " issued=" << w.issued
+                      << " backlog=" << w.finalBacklog
+                      << " offered_rate=" << formatFixed(w.offeredRate, 4)
+                      << " carried_rate=" << formatFixed(w.carriedRate, 4)
+                      << " saturated=" << (w.saturated ? "yes" : "no")
+                      << "\n";
+        }
     }
     if (config.auditFairness) {
         std::cout << "\n";

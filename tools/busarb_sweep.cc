@@ -46,6 +46,7 @@
 #include "experiment/scenario_spec.hh"
 #include "experiment/sweep_cells.hh"
 #include "experiment/table.hh"
+#include "experiment/workload_registry.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/sweep_progress.hh"
 #include "workload/scenario.hh"
@@ -95,6 +96,13 @@ main(int argc, char **argv)
     parser.addBoolFlag("list-protocols", false,
                        "print the protocol catalogue (keys, parameters, "
                        "defaults, paper sections) and exit");
+    parser.addBoolFlag("list-workloads", false,
+                       "print the workload-source catalogue (keys, "
+                       "options, defaults) and exit");
+    parser.addStringFlag("source", "closed",
+                         "workload-source spec for every cell (see "
+                         "--list-workloads); sources without a load "
+                         "axis conflict with --loads");
     parser.addIntFlag("agents", 10, "number of agents");
     parser.addDoubleFlag("cv", 1.0,
                          "inter-request coefficient of variation");
@@ -183,6 +191,10 @@ main(int argc, char **argv)
         ProtocolRegistry::builtin().printTable(std::cout);
         return 0;
     }
+    if (parser.getBool("list-workloads")) {
+        WorkloadRegistry::builtin().printTable(std::cout);
+        return 0;
+    }
 
     if (parser.getBool("fairness") &&
         parser.getDouble("fairness-window") <= 0.0) {
@@ -252,7 +264,7 @@ main(int argc, char **argv)
     if (!parser.getString("grid").empty()) {
         static const char *const kOwned[] = {"protocols", "loads",
                                              "agents", "cv", "batches",
-                                             "batch-size"};
+                                             "batch-size", "source"};
         for (const char *flag : kOwned) {
             if (parser.wasSet(flag)) {
                 std::cerr << "busarb_sweep: --" << flag
@@ -269,7 +281,19 @@ main(int argc, char **argv)
         spec.cv = parser.getDouble("cv");
         spec.batches = static_cast<int>(parser.getInt("batches"));
         spec.batchSize = parser.getInt("batch-size");
-        spec.loadTokens = splitCsvList(parser.getString("loads"));
+        spec.source = parser.getString("source");
+        workloadSpecOrExit("busarb_sweep", spec.source);
+        if (spec.sourceTakesLoads()) {
+            spec.loadTokens = splitCsvList(parser.getString("loads"));
+        } else if (parser.wasSet("loads")) {
+            // The source fixes its own arrival schedule; a load axis
+            // would be silently ignored, so reject it loudly instead.
+            std::cerr << "busarb_sweep: --loads conflicts with --source "
+                      << spec.source
+                      << " (the source fixes its own arrival "
+                         "schedule)\n";
+            return 2;
+        }
         spec.protocolSpecs = splitCsvList(parser.getString("protocols"));
     }
     if (spec.family == "worst-case") {
@@ -280,7 +304,10 @@ main(int argc, char **argv)
 
     const int n = spec.agents;
     const auto &protocol_keys = spec.protocolSpecs;
-    const auto &load_tokens = spec.loadTokens;
+    // Sources without a load axis (trace replay) sweep the single
+    // placeholder token "-", so row labels and metric prefixes stay
+    // well-formed with one cell per protocol.
+    const auto &load_tokens = spec.loadAxis();
     if (protocol_keys.empty() || load_tokens.empty()) {
         std::cerr << "need at least one protocol and one load\n";
         return 2;
